@@ -1,0 +1,81 @@
+// Platform-mechanism ablation: how the mapping's benefit composes with
+// the storage-stack mechanisms from the paper's related work — dirty
+// write-back accounting, cooperative client caching [14], and sequential
+// readahead prefetching ([19][20][38]).
+//
+// The paper argues the compiler-directed mapping is complementary to
+// such mechanisms ("our approach can complement these approaches by
+// shaping the data access patterns at the application layer"); this
+// bench measures that claim.
+#include "bench/common.h"
+
+int main() {
+  using namespace mlsc;
+  bench::print_header(
+      "Ablation: storage-stack mechanisms vs mapping (normalized to the "
+      "original scheme on the plain stack)",
+      sim::MachineConfig::paper_default());
+
+  const auto apps = mlsc::bench::bench_apps({"hf", "astro", "madbench2"});
+
+  struct Variant {
+    const char* label;
+    void (*apply)(sim::MachineConfig&);
+  };
+  const Variant variants[] = {
+      {"plain", [](sim::MachineConfig&) {}},
+      {"write-back", [](sim::MachineConfig& m) { m.write_back = true; }},
+      {"cooperative",
+       [](sim::MachineConfig& m) { m.cooperative_caching = true; }},
+      {"readahead=2",
+       [](sim::MachineConfig& m) { m.readahead_chunks = 2; }},
+      {"readahead=4",
+       [](sim::MachineConfig& m) { m.readahead_chunks = 4; }},
+      {"all",
+       [](sim::MachineConfig& m) {
+         m.write_back = true;
+         m.cooperative_caching = true;
+         m.readahead_chunks = 4;
+       }},
+  };
+
+  // Baseline: original scheme on the plain stack, per app.
+  std::vector<double> base_io;
+  for (const auto& name : apps) {
+    const auto workload = workloads::make_workload(name);
+    base_io.push_back(static_cast<double>(
+        bench::run(workload, sim::SchemeSpec::original(),
+                   sim::MachineConfig::paper_default())
+            .io_latency));
+  }
+
+  Table table({"stack variant", "original I/O", "inter I/O",
+               "mapping benefit %"});
+  for (const auto& variant : variants) {
+    double orig_sum = 0.0;
+    double inter_sum = 0.0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      sim::MachineConfig machine = sim::MachineConfig::paper_default();
+      variant.apply(machine);
+      const auto workload = workloads::make_workload(apps[i]);
+      orig_sum += static_cast<double>(
+                      bench::run(workload, sim::SchemeSpec::original(),
+                                 machine)
+                          .io_latency) /
+                  base_io[i];
+      inter_sum += static_cast<double>(
+                       bench::run(workload, sim::SchemeSpec::inter(),
+                                  machine)
+                           .io_latency) /
+                   base_io[i];
+    }
+    const auto n = static_cast<double>(apps.size());
+    table.add_row({variant.label, format_double(orig_sum / n, 3),
+                   format_double(inter_sum / n, 3),
+                   format_double((1.0 - inter_sum / orig_sum) * 100, 1)});
+  }
+  bench::print_table(table);
+  std::cout << "claim under test: the mapping's benefit persists under "
+               "every stack mechanism (complementary, not redundant)\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// §5.4 ablation — handling multiple loop nests together: compare mapping
+// each nest in isolation against mapping the union of all nests'
+// iterations at once (the paper reports most data reuse is intra-nest,
+// so joint mapping added only ~3% cache hits for their suite; sar's
+// producer-consumer passes are where it matters most here).
+#include <numeric>
+
+#include "bench/common.h"
+#include "core/pipeline.h"
+#include "sim/trace.h"
+
+namespace {
+
+/// Runs inter-processor mapping nest-by-nest (isolated) instead of the
+/// pipeline's default joint mapping, then replays the concatenation.
+mlsc::sim::ExperimentResult run_isolated(
+    const mlsc::workloads::Workload& workload,
+    const mlsc::sim::MachineConfig& config) {
+  using namespace mlsc;
+  const auto tree = config.build_tree();
+  const core::DataSpace space(workload.program, config.chunk_size_bytes);
+  core::PipelineOptions options;
+  options.mapper = core::MapperKind::kInterProcessor;
+  core::MappingPipeline pipeline(tree, options);
+
+  // Map each nest separately, then concatenate per-client work.
+  core::MappingResult combined;
+  combined.kind = core::MapperKind::kInterProcessor;
+  combined.mapper_name = "inter-processor (isolated nests)";
+  combined.client_work.resize(tree.num_clients());
+  for (poly::NestId n = 0; n < workload.program.nests.size(); ++n) {
+    const std::vector<poly::NestId> one{n};
+    auto part = pipeline.run(workload.program, space, one);
+    const auto chunk_offset =
+        static_cast<std::int32_t>(combined.chunk_table.size());
+    for (auto& chunk : part.chunk_table) {
+      combined.chunk_table.push_back(std::move(chunk));
+    }
+    for (std::size_t c = 0; c < tree.num_clients(); ++c) {
+      for (auto& item : part.client_work[c]) {
+        if (item.chunk >= 0) item.chunk += chunk_offset;
+        combined.client_work[c].push_back(std::move(item));
+      }
+    }
+  }
+
+  const auto trace = sim::generate_trace(workload.program, space, combined);
+  const auto engine = sim::run_engine(trace, combined, config, tree);
+  sim::ExperimentResult result;
+  result.workload = workload.name;
+  result.scheme = "inter (isolated)";
+  result.l1_miss_rate = engine.l1.miss_rate();
+  result.l2_miss_rate = engine.l2.miss_rate();
+  result.l3_miss_rate = engine.l3.miss_rate();
+  result.io_latency = engine.io_time_mean(tree.num_clients());
+  result.exec_time = engine.exec_time;
+  result.engine = engine;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlsc;
+  const auto machine = sim::MachineConfig::paper_default();
+  bench::print_header(
+      "Ablation: multi-nest mapping (joint vs per-nest isolated)", machine);
+
+  // Apps with more than one nest: sar (two passes over the scene).
+  Table table({"app", "variant", "L1 miss %", "I/O latency (s)",
+               "exec (s)"});
+  for (const auto& name : mlsc::bench::bench_apps({"sar"})) {
+    const auto workload = workloads::make_workload(name);
+    if (workload.program.nests.size() < 2) continue;
+    const auto joint =
+        bench::run(workload, sim::SchemeSpec::inter(), machine);
+    std::cerr << "[bench] " << name << " / inter (isolated nests)\n";
+    const auto isolated = run_isolated(workload, machine);
+    table.add_row({name, "joint (paper §5.4)",
+                   format_double(joint.l1_miss_rate * 100, 1),
+                   format_double(static_cast<double>(joint.io_latency) / 1e9,
+                                 1),
+                   format_double(static_cast<double>(joint.exec_time) / 1e9,
+                                 1)});
+    table.add_row(
+        {name, "isolated nests",
+         format_double(isolated.l1_miss_rate * 100, 1),
+         format_double(static_cast<double>(isolated.io_latency) / 1e9, 1),
+         format_double(static_cast<double>(isolated.exec_time) / 1e9, 1)});
+  }
+  bench::print_table(table);
+  std::cout << "paper: joint mapping of neighbouring nests added ~3% cache "
+               "hits (most reuse is intra-nest)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "bench/common.h"
+
+#include <cstdlib>
+
+#include "support/string_util.h"
+#include "support/units.h"
+
+namespace mlsc::bench {
+
+std::vector<std::string> bench_apps(const std::vector<std::string>& defaults) {
+  std::vector<std::string> base =
+      defaults.empty() ? workloads::workload_names() : defaults;
+  const char* env = std::getenv("MLSC_BENCH_APPS");
+  if (env == nullptr || *env == '\0') return base;
+  std::vector<std::string> out;
+  for (const auto& name : split(env, ',')) {
+    for (const auto& known : base) {
+      if (known == name) out.push_back(name);
+    }
+  }
+  return out.empty() ? base : out;
+}
+
+bool csv_requested() {
+  const char* env = std::getenv("MLSC_BENCH_CSV");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+void print_header(const std::string& title,
+                  const sim::MachineConfig& config) {
+  std::cout << "== " << title << " ==\n"
+            << "paper: Kandemir et al., Computation Mapping for Multi-Level "
+               "Storage Cache Hierarchies, HPDC'10\n"
+            << "machine: " << config.to_string() << "\n"
+            << "scale: capacities and data sets are 1/64 of the paper's "
+               "(DESIGN.md §5); node counts and chunk size are at paper "
+               "values\n\n";
+}
+
+void print_table(const Table& table) {
+  table.print(std::cout);
+  if (csv_requested()) {
+    std::cout << "\n[csv]\n";
+    table.print_csv(std::cout);
+  }
+  std::cout << "\n";
+}
+
+sim::ExperimentResult run(const workloads::Workload& workload,
+                          const sim::SchemeSpec& scheme,
+                          const sim::MachineConfig& config) {
+  std::cerr << "[bench] " << workload.name << " / " << scheme.name() << " / "
+            << config.to_string() << "\n";
+  return run_experiment(workload, scheme, config);
+}
+
+std::string norm(double value, double original) {
+  if (original == 0.0) return "n/a";
+  return format_double(value / original, 3);
+}
+
+}  // namespace mlsc::bench

@@ -1,0 +1,45 @@
+// Shared harness for the per-table / per-figure benchmark binaries.
+//
+// Each binary reproduces one table or figure of the paper's evaluation:
+// it runs the required (workload, scheme, machine) experiments and prints
+// the same rows/series the paper reports, normalized to the original
+// version where the paper normalizes.  Environment knobs:
+//   MLSC_BENCH_APPS=hf,sar,...   restrict the application list
+//   MLSC_BENCH_CSV=1             additionally print CSV blocks
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "support/string_util.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+namespace mlsc::bench {
+
+/// Applications to run: the full Table 2 suite unless MLSC_BENCH_APPS
+/// names a subset, intersected with `defaults` when given.
+std::vector<std::string> bench_apps(
+    const std::vector<std::string>& defaults = {});
+
+/// True when CSV output was requested.
+bool csv_requested();
+
+/// Prints the standard header: paper reference, machine description, and
+/// the simulated scale note.
+void print_header(const std::string& title, const sim::MachineConfig& config);
+
+/// Prints a table, plus its CSV form when requested.
+void print_table(const Table& table);
+
+/// Runs one experiment, with a progress note on stderr.
+sim::ExperimentResult run(const workloads::Workload& workload,
+                          const sim::SchemeSpec& scheme,
+                          const sim::MachineConfig& config);
+
+/// Formats a ratio like the paper's normalized plots (original = 1.0).
+std::string norm(double value, double original);
+
+}  // namespace mlsc::bench

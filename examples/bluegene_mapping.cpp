@@ -1,0 +1,57 @@
+// Mapping onto a Blue Gene/P-flavoured I/O stack (paper §1/§3): compute
+// nodes partitioned onto I/O forwarding nodes at a high ratio, which are
+// served by a small set of storage nodes.  The example builds the
+// hierarchy by hand (heterogeneous cache capacities per layer), maps one
+// application with all schemes, and reports where each scheme's accesses
+// were served.
+//
+// Run: ./build/examples/bluegene_mapping [workload]
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "support/string_util.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace mlsc;
+  const std::string name = argc > 1 ? argv[1] : "wupwise";
+  const auto workload = workloads::make_workload(name);
+
+  // A BG/P-like ratio: 64 compute nodes per 8 I/O nodes (1:8), 2 storage
+  // nodes; small compute-node caches, larger I/O and storage caches.
+  sim::MachineConfig machine;
+  machine.clients = 64;
+  machine.io_nodes = 8;
+  machine.storage_nodes = 2;
+  machine.client_cache_bytes = 16 * kMiB;
+  machine.io_cache_bytes = 128 * kMiB;
+  machine.storage_cache_bytes = 256 * kMiB;
+
+  const auto tree = machine.build_tree();
+  std::cout << "Blue Gene/P-flavoured hierarchy (" << machine.clients
+            << " compute : " << machine.io_nodes << " I/O : "
+            << machine.storage_nodes << " storage):\n";
+  // Print just the top of the tree: the storage and I/O layers.
+  std::cout << "  root: " << tree.node(tree.root()).name << ", levels: "
+            << tree.num_levels() << ", clients per I/O node: "
+            << machine.clients / machine.io_nodes << "\n\n";
+
+  Table table({"scheme", "L1 miss %", "L2 miss %", "L3 miss %",
+               "disk reqs", "I/O latency", "exec time"});
+  for (const auto& scheme :
+       {sim::SchemeSpec::original(), sim::SchemeSpec::intra(),
+        sim::SchemeSpec::inter(), sim::SchemeSpec::inter_scheduled()}) {
+    const auto r = sim::run_experiment(workload, scheme, machine);
+    table.add_row({r.scheme, format_double(r.l1_miss_rate * 100, 1),
+                   format_double(r.l2_miss_rate * 100, 1),
+                   format_double(r.l3_miss_rate * 100, 1),
+                   std::to_string(r.engine.disk_requests),
+                   format_time(r.io_latency), format_time(r.exec_time)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe mapping algorithm consumed only the tree shape — the "
+               "same code drives the Table 1 cluster and this deeper, "
+               "skewed hierarchy.\n";
+  return 0;
+}

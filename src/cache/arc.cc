@@ -1,0 +1,169 @@
+// ARC (Adaptive Replacement Cache, Megiddo & Modha) policy core — the
+// adaptive recency/frequency family the paper's related work samples
+// with SARC [20].  Two resident LRU lists (T1: seen once, T2: seen
+// again) plus two ghost lists (B1, B2) steer the adaptation target p.
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.h"
+#include "support/check.h"
+
+namespace mlsc::cache {
+namespace {
+
+class ArcPolicy : public PolicyCore {
+ public:
+  explicit ArcPolicy(std::size_t capacity) : capacity_(capacity) {
+    MLSC_CHECK(capacity_ > 0, "cache capacity must be positive");
+  }
+
+  bool contains(ChunkId id) const override {
+    auto it = where_.find(id);
+    return it != where_.end() &&
+           (it->second.list == List::kT1 || it->second.list == List::kT2);
+  }
+
+  bool touch(ChunkId id) override {
+    auto it = where_.find(id);
+    if (it == where_.end()) return false;
+    switch (it->second.list) {
+      case List::kT1:
+        // Second reference: promote to the frequency list.
+        t1_.erase(it->second.pos);
+        t2_.push_front(id);
+        it->second = Entry{List::kT2, t2_.begin()};
+        return true;
+      case List::kT2:
+        t2_.splice(t2_.begin(), t2_, it->second.pos);
+        return true;
+      case List::kB1:
+      case List::kB2:
+        return false;  // ghost: not resident
+    }
+    return false;
+  }
+
+  std::optional<ChunkId> insert(ChunkId id) override {
+    if (touch(id)) return std::nullopt;
+    std::optional<ChunkId> evicted;
+
+    auto it = where_.find(id);
+    if (it != where_.end() && it->second.list == List::kB1) {
+      // Ghost hit in B1: favour recency (grow p), insert into T2.
+      const std::size_t delta =
+          std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(
+                                                    1, b1_.size()));
+      p_ = std::min(capacity_, p_ + delta);
+      b1_.erase(it->second.pos);
+      where_.erase(it);
+      evicted = replace(/*in_b2=*/false);
+      t2_.push_front(id);
+      where_[id] = Entry{List::kT2, t2_.begin()};
+      return evicted;
+    }
+    if (it != where_.end() && it->second.list == List::kB2) {
+      // Ghost hit in B2: favour frequency (shrink p), insert into T2.
+      const std::size_t delta =
+          std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(
+                                                    1, b2_.size()));
+      p_ = p_ > delta ? p_ - delta : 0;
+      b2_.erase(it->second.pos);
+      where_.erase(it);
+      evicted = replace(/*in_b2=*/true);
+      t2_.push_front(id);
+      where_[id] = Entry{List::kT2, t2_.begin()};
+      return evicted;
+    }
+
+    // Brand new chunk.
+    if (t1_.size() + b1_.size() == capacity_) {
+      if (t1_.size() < capacity_) {
+        drop_ghost(b1_);
+        evicted = replace(false);
+      } else {
+        // B1 empty: evict the LRU of T1 directly.
+        evicted = pop_lru(t1_, /*ghost=*/nullptr);
+      }
+    } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >=
+               capacity_) {
+      if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >=
+          2 * capacity_) {
+        drop_ghost(b2_);
+      }
+      if (size() == capacity_) evicted = replace(false);
+    }
+    t1_.push_front(id);
+    where_[id] = Entry{List::kT1, t1_.begin()};
+    return evicted;
+  }
+
+  bool erase(ChunkId id) override {
+    auto it = where_.find(id);
+    if (it == where_.end() || it->second.list == List::kB1 ||
+        it->second.list == List::kB2) {
+      return false;
+    }
+    (it->second.list == List::kT1 ? t1_ : t2_).erase(it->second.pos);
+    where_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const override { return t1_.size() + t2_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+  PolicyKind kind() const override { return PolicyKind::kArc; }
+
+ private:
+  enum class List { kT1, kT2, kB1, kB2 };
+  struct Entry {
+    List list;
+    std::list<ChunkId>::iterator pos;
+  };
+
+  void drop_ghost(std::list<ChunkId>& ghost) {
+    if (ghost.empty()) return;
+    where_.erase(ghost.back());
+    ghost.pop_back();
+  }
+
+  ChunkId pop_lru(std::list<ChunkId>& from, std::list<ChunkId>* ghost) {
+    MLSC_CHECK(!from.empty(), "ARC replace on an empty list");
+    const ChunkId victim = from.back();
+    from.pop_back();
+    if (ghost != nullptr) {
+      ghost->push_front(victim);
+      where_[victim] =
+          Entry{ghost == &b1_ ? List::kB1 : List::kB2, ghost->begin()};
+    } else {
+      where_.erase(victim);
+    }
+    return victim;
+  }
+
+  /// ARC's REPLACE: evict from T1 into B1 when T1 exceeds the target p
+  /// (or on a B2 hit at the boundary), else from T2 into B2.
+  std::optional<ChunkId> replace(bool in_b2) {
+    if (size() < capacity_) return std::nullopt;
+    if (!t1_.empty() &&
+        (t1_.size() > p_ || (in_b2 && t1_.size() == p_))) {
+      return pop_lru(t1_, &b1_);
+    }
+    if (!t2_.empty()) return pop_lru(t2_, &b2_);
+    return pop_lru(t1_, &b1_);
+  }
+
+  std::size_t capacity_;
+  std::size_t p_ = 0;        // adaptation target for |T1|
+  std::list<ChunkId> t1_;    // resident, referenced once
+  std::list<ChunkId> t2_;    // resident, referenced at least twice
+  std::list<ChunkId> b1_;    // ghosts of T1
+  std::list<ChunkId> b2_;    // ghosts of T2
+  std::unordered_map<ChunkId, Entry> where_;
+};
+
+}  // namespace
+
+std::unique_ptr<PolicyCore> make_arc_policy(std::size_t capacity) {
+  return std::make_unique<ArcPolicy>(capacity);
+}
+
+}  // namespace mlsc::cache

@@ -1,0 +1,92 @@
+// LFU policy core with LRU tie-breaking: frequency buckets in an ordered
+// map, each bucket an LRU list; the victim is the least recently used
+// member of the lowest-frequency bucket.
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/policy.h"
+#include "support/check.h"
+
+namespace mlsc::cache {
+namespace {
+
+class LfuPolicy : public PolicyCore {
+ public:
+  explicit LfuPolicy(std::size_t capacity) : capacity_(capacity) {
+    MLSC_CHECK(capacity_ > 0, "cache capacity must be positive");
+  }
+
+  bool contains(ChunkId id) const override { return index_.count(id) != 0; }
+
+  bool touch(ChunkId id) override {
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    bump(it);
+    return true;
+  }
+
+  std::optional<ChunkId> insert(ChunkId id) override {
+    if (touch(id)) return std::nullopt;
+    std::optional<ChunkId> evicted;
+    if (index_.size() == capacity_) {
+      auto bucket_it = buckets_.begin();
+      evicted = bucket_it->second.back();
+      bucket_it->second.pop_back();
+      if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+      index_.erase(*evicted);
+    }
+    auto& bucket = buckets_[1];
+    bucket.push_front(id);
+    index_[id] = Entry{1, bucket.begin()};
+    return evicted;
+  }
+
+  bool erase(ChunkId id) override {
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    remove_from_bucket(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const override { return index_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+  PolicyKind kind() const override { return PolicyKind::kLfu; }
+
+ private:
+  struct Entry {
+    std::uint64_t freq = 0;
+    std::list<ChunkId>::iterator pos;
+  };
+  using Index = std::unordered_map<ChunkId, Entry>;
+
+  void remove_from_bucket(const Entry& entry) {
+    auto bucket_it = buckets_.find(entry.freq);
+    bucket_it->second.erase(entry.pos);
+    if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  }
+
+  void bump(Index::iterator it) {
+    const ChunkId id = it->first;
+    Entry& entry = it->second;
+    remove_from_bucket(entry);
+    ++entry.freq;
+    auto& bucket = buckets_[entry.freq];
+    bucket.push_front(id);
+    entry.pos = bucket.begin();
+  }
+
+  std::size_t capacity_;
+  // freq -> LRU list (front = most recently used at that frequency).
+  std::map<std::uint64_t, std::list<ChunkId>> buckets_;
+  Index index_;
+};
+
+}  // namespace
+
+std::unique_ptr<PolicyCore> make_lfu_policy(std::size_t capacity) {
+  return std::make_unique<LfuPolicy>(capacity);
+}
+
+}  // namespace mlsc::cache

@@ -1,0 +1,179 @@
+#include "cache/multilevel.h"
+
+#include "support/check.h"
+
+namespace mlsc::cache {
+
+const char* placement_mode_name(PlacementMode mode) {
+  switch (mode) {
+    case PlacementMode::kAccessBased:
+      return "access-based";
+    case PlacementMode::kEvictionBased:
+      return "eviction-based";
+    case PlacementMode::kExclusive:
+      return "exclusive";
+  }
+  return "?";
+}
+
+MultiLevelCache::MultiLevelCache(const topology::HierarchyTree& tree,
+                                 std::uint64_t chunk_size_bytes,
+                                 PolicyKind policy, PlacementMode placement)
+    : tree_(tree), chunk_size_(chunk_size_bytes), placement_(placement) {
+  MLSC_CHECK(tree_.finalized(), "hierarchy tree must be finalized");
+  MLSC_CHECK(chunk_size_ > 0, "chunk size must be positive");
+  caches_.resize(tree_.num_nodes());
+  for (topology::NodeId id = 0; id < tree_.num_nodes(); ++id) {
+    const auto& node = tree_.node(id);
+    if (node.cache_capacity_bytes == 0) continue;
+    const std::size_t chunks =
+        static_cast<std::size_t>(node.cache_capacity_bytes / chunk_size_);
+    MLSC_CHECK(chunks > 0, "cache at " << node.name
+                                       << " smaller than one chunk");
+    caches_[id] = std::make_unique<StorageCache>(node.name, chunks, policy);
+  }
+}
+
+const StorageCache& MultiLevelCache::cache(topology::NodeId node) const {
+  MLSC_CHECK(node < caches_.size() && caches_[node] != nullptr,
+             "node " << node << " has no cache");
+  return *caches_[node];
+}
+
+void MultiLevelCache::fill(topology::NodeId node, ChunkId chunk, bool dirty,
+                           std::uint32_t& writebacks) {
+  auto evicted = caches_[node]->insert(chunk);
+  if (dirty && write_back_) caches_[node]->mark_dirty(chunk);
+  if (!evicted.has_value()) return;
+
+  // Decide where the evicted chunk goes.  Under eviction-based and
+  // exclusive placement every eviction demotes toward the root; under
+  // the default access-based placement only *dirty* data must survive
+  // (it has to reach the disk eventually).
+  const bool must_demote = placement_ != PlacementMode::kAccessBased ||
+                           (write_back_ && evicted->dirty);
+  if (!must_demote) return;
+
+  topology::NodeId parent = tree_.node(node).parent;
+  while (parent != topology::kInvalidNode) {
+    if (caches_[parent] != nullptr) {
+      if (placement_ != PlacementMode::kAccessBased) {
+        fill(parent, evicted->chunk, evicted->dirty, writebacks);
+      } else if (caches_[parent]->contains(evicted->chunk)) {
+        // Inclusive copy already present: just transfer dirtiness.
+        if (evicted->dirty) caches_[parent]->mark_dirty(evicted->chunk);
+      } else {
+        fill(parent, evicted->chunk, evicted->dirty, writebacks);
+      }
+      return;
+    }
+    parent = tree_.node(parent).parent;
+  }
+  // No cache above: a dirty chunk leaves the hierarchy -> disk write.
+  if (evicted->dirty) ++writebacks;
+}
+
+AccessResult MultiLevelCache::access(topology::NodeId client, ChunkId chunk,
+                                     bool is_write) {
+  MLSC_CHECK(tree_.node(client).kind == topology::NodeKind::kCompute,
+             "accesses must originate at a compute node");
+  const auto path = tree_.path_to_root(client);
+
+  AccessResult result;
+  std::vector<topology::NodeId> missed;  // cached nodes probed and missed
+  for (topology::NodeId node : path) {
+    if (caches_[node] == nullptr) continue;
+    ++result.caches_probed;
+    if (caches_[node]->access(chunk)) {
+      result.hit_node = node;
+      break;
+    }
+    missed.push_back(node);
+
+    // Cooperative caching: right after the client's own cache missed,
+    // probe the sibling compute nodes under the same parent.
+    if (cooperative_ && node == client) {
+      const topology::NodeId parent = tree_.node(client).parent;
+      if (parent != topology::kInvalidNode) {
+        for (topology::NodeId sibling : tree_.node(parent).children) {
+          if (sibling == client || caches_[sibling] == nullptr) continue;
+          if (caches_[sibling]->contains(chunk)) {
+            result.hit_node = sibling;
+            result.peer_hit = true;
+            break;
+          }
+        }
+        if (result.peer_hit) break;
+      }
+    }
+  }
+
+  switch (placement_) {
+    case PlacementMode::kAccessBased:
+      // Fill every cache that missed on the way to the hit/disk.
+      for (topology::NodeId node : missed) {
+        fill(node, chunk, /*dirty=*/false, result.writebacks_to_disk);
+      }
+      break;
+    case PlacementMode::kEvictionBased:
+    case PlacementMode::kExclusive:
+      // Fill only the cache closest to the client; evictions trickle down
+      // via fill().  Exclusive placement additionally removes the chunk
+      // from the shared cache that hit.
+      if (!missed.empty()) {
+        fill(missed.front(), chunk, /*dirty=*/false,
+             result.writebacks_to_disk);
+      }
+      if (placement_ == PlacementMode::kExclusive &&
+          result.hit_node != topology::kInvalidNode &&
+          result.hit_node != client && !result.peer_hit && !missed.empty()) {
+        caches_[result.hit_node]->erase(chunk);
+      }
+      break;
+  }
+
+  if (is_write && write_back_ && caches_[client] != nullptr) {
+    caches_[client]->mark_dirty(chunk);
+  }
+  return result;
+}
+
+std::uint32_t MultiLevelCache::install(topology::NodeId client,
+                                       ChunkId chunk) {
+  std::uint32_t writebacks = 0;
+  for (topology::NodeId node : tree_.path_to_root(client)) {
+    if (caches_[node] == nullptr) continue;
+    if (!caches_[node]->contains(chunk)) {
+      fill(node, chunk, /*dirty=*/false, writebacks);
+    }
+  }
+  return writebacks;
+}
+
+bool MultiLevelCache::resident_on_path(topology::NodeId client,
+                                       ChunkId chunk) const {
+  for (topology::NodeId node : tree_.path_to_root(client)) {
+    if (caches_[node] != nullptr && caches_[node]->contains(chunk)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CacheStats MultiLevelCache::aggregate_stats(topology::NodeKind kind) const {
+  CacheStats total;
+  for (topology::NodeId id = 0; id < tree_.num_nodes(); ++id) {
+    if (caches_[id] != nullptr && tree_.node(id).kind == kind) {
+      total += caches_[id]->stats();
+    }
+  }
+  return total;
+}
+
+void MultiLevelCache::reset_stats() {
+  for (auto& cache : caches_) {
+    if (cache != nullptr) cache->reset_stats();
+  }
+}
+
+}  // namespace mlsc::cache

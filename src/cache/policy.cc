@@ -1,0 +1,71 @@
+#include "cache/policy.h"
+
+#include "support/check.h"
+
+namespace mlsc::cache {
+
+// Factories defined in the per-policy translation units.
+std::unique_ptr<PolicyCore> make_lru_policy(std::size_t capacity);
+std::unique_ptr<PolicyCore> make_fifo_policy(std::size_t capacity);
+std::unique_ptr<PolicyCore> make_clock_policy(std::size_t capacity);
+std::unique_ptr<PolicyCore> make_lfu_policy(std::size_t capacity);
+std::unique_ptr<PolicyCore> make_two_q_policy(std::size_t capacity);
+std::unique_ptr<PolicyCore> make_mq_policy(std::size_t capacity);
+std::unique_ptr<PolicyCore> make_arc_policy(std::size_t capacity);
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return "lru";
+    case PolicyKind::kFifo:
+      return "fifo";
+    case PolicyKind::kClock:
+      return "clock";
+    case PolicyKind::kLfu:
+      return "lfu";
+    case PolicyKind::kTwoQ:
+      return "2q";
+    case PolicyKind::kMq:
+      return "mq";
+    case PolicyKind::kArc:
+      return "arc";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy_kind(const std::string& name) {
+  if (name == "lru") return PolicyKind::kLru;
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "clock") return PolicyKind::kClock;
+  if (name == "lfu") return PolicyKind::kLfu;
+  if (name == "2q") return PolicyKind::kTwoQ;
+  if (name == "mq") return PolicyKind::kMq;
+  if (name == "arc") return PolicyKind::kArc;
+  MLSC_CHECK(false, "unknown replacement policy: " << name);
+  return PolicyKind::kLru;  // unreachable
+}
+
+std::unique_ptr<PolicyCore> make_policy(PolicyKind kind,
+                                        std::size_t capacity_chunks) {
+  MLSC_CHECK(capacity_chunks > 0, "cache capacity must be positive");
+  switch (kind) {
+    case PolicyKind::kLru:
+      return make_lru_policy(capacity_chunks);
+    case PolicyKind::kFifo:
+      return make_fifo_policy(capacity_chunks);
+    case PolicyKind::kClock:
+      return make_clock_policy(capacity_chunks);
+    case PolicyKind::kLfu:
+      return make_lfu_policy(capacity_chunks);
+    case PolicyKind::kTwoQ:
+      return make_two_q_policy(capacity_chunks);
+    case PolicyKind::kMq:
+      return make_mq_policy(capacity_chunks);
+    case PolicyKind::kArc:
+      return make_arc_policy(capacity_chunks);
+  }
+  MLSC_CHECK(false, "bad policy kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace mlsc::cache

@@ -1,0 +1,46 @@
+#include "cache/storage_cache.h"
+
+namespace mlsc::cache {
+
+CacheStats& CacheStats::operator+=(const CacheStats& other) {
+  accesses += other.accesses;
+  hits += other.hits;
+  misses += other.misses;
+  insertions += other.insertions;
+  evictions += other.evictions;
+  dirty_evictions += other.dirty_evictions;
+  return *this;
+}
+
+StorageCache::StorageCache(std::string name, std::size_t capacity_chunks,
+                           PolicyKind policy)
+    : name_(std::move(name)), core_(make_policy(policy, capacity_chunks)) {}
+
+bool StorageCache::access(ChunkId id) {
+  ++stats_.accesses;
+  if (core_->touch(id)) {
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+std::optional<StorageCache::Evicted> StorageCache::insert(ChunkId id) {
+  auto evicted = core_->insert(id);
+  ++stats_.insertions;
+  if (!evicted.has_value()) return std::nullopt;
+  ++stats_.evictions;
+  Evicted out{*evicted, dirty_.count(*evicted) != 0};
+  if (out.dirty) {
+    ++stats_.dirty_evictions;
+    dirty_.erase(out.chunk);
+  }
+  return out;
+}
+
+void StorageCache::mark_dirty(ChunkId id) {
+  if (core_->contains(id)) dirty_.insert(id);
+}
+
+}  // namespace mlsc::cache

@@ -1,0 +1,78 @@
+// A single storage cache: a named, statistics-keeping wrapper around a
+// replacement policy core.  Granularity is the data chunk (paper §5.1:
+// "the unit of granularity for managing these caches is a data chunk").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "cache/policy.h"
+
+namespace mlsc::cache {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  double miss_rate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+  double hit_rate() const { return accesses == 0 ? 0.0 : 1.0 - miss_rate(); }
+
+  CacheStats& operator+=(const CacheStats& other);
+};
+
+class StorageCache {
+ public:
+  StorageCache(std::string name, std::size_t capacity_chunks,
+               PolicyKind policy);
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return core_->capacity(); }
+  std::size_t size() const { return core_->size(); }
+  PolicyKind policy() const { return core_->kind(); }
+
+  bool contains(ChunkId id) const { return core_->contains(id); }
+
+  /// Looks up a chunk, counting a hit or a miss.  Does not insert — the
+  /// multi-level path decides placement separately.
+  bool access(ChunkId id);
+
+  /// An evicted chunk and whether it held unwritten (dirty) data.
+  struct Evicted {
+    ChunkId chunk = 0;
+    bool dirty = false;
+  };
+
+  /// Makes the chunk resident; returns the evicted chunk, if any.
+  std::optional<Evicted> insert(ChunkId id);
+
+  /// Marks a resident chunk as holding unwritten data (write-back).
+  void mark_dirty(ChunkId id);
+  bool is_dirty(ChunkId id) const { return dirty_.count(id) != 0; }
+
+  /// Invalidates a chunk (used by exclusive-caching placement).
+  bool erase(ChunkId id) {
+    dirty_.erase(id);
+    return core_->erase(id);
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<PolicyCore> core_;
+  CacheStats stats_;
+  std::unordered_set<ChunkId> dirty_;
+};
+
+}  // namespace mlsc::cache

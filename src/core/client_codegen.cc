@@ -1,0 +1,59 @@
+#include "core/client_codegen.h"
+
+#include <sstream>
+
+#include "poly/codegen.h"
+#include "support/check.h"
+
+namespace mlsc::core {
+
+std::string emit_client_source(const poly::Program& program,
+                               const MappingResult& mapping,
+                               std::size_t client) {
+  MLSC_CHECK(client < mapping.num_clients(), "client out of range");
+  std::ostringstream out;
+  out << "// client " << client << " — " << mapping.mapper_name << "\n";
+  for (const auto& item : mapping.client_work[client]) {
+    const auto& nest = program.nest(item.nest);
+    if (item.chunk >= 0) {
+      out << "// iteration chunk " << item.chunk << " of nest " << nest.name
+          << " (" << item.iterations << " iterations)\n";
+      std::ostringstream body;
+      body << "body_" << nest.name << "(";
+      for (std::size_t k = 0; k < nest.depth(); ++k) {
+        if (k != 0) body << ", ";
+        body << "i" << k;
+      }
+      body << ");";
+      out << poly::emit_range_loops(nest.space, item.ranges, body.str());
+    } else {
+      out << "// block of nest " << nest.name << " in order "
+          << item.order.to_string() << ": positions ";
+      for (std::size_t r = 0; r < item.ranges.size(); ++r) {
+        if (r != 0) out << ", ";
+        out << "[" << item.ranges[r].begin << ", " << item.ranges[r].end
+            << ")";
+      }
+      out << "\n";
+    }
+  }
+  for (const auto& edge : mapping.sync_edges) {
+    if (edge.consumer_client == client) {
+      out << "// sync: wait for client " << edge.producer_client << " item "
+          << edge.producer_item << " before item " << edge.consumer_item
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string emit_all_clients_source(const poly::Program& program,
+                                    const MappingResult& mapping) {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < mapping.num_clients(); ++c) {
+    out << emit_client_source(program, mapping, c) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mlsc::core

@@ -1,0 +1,24 @@
+// Per-client code generation: renders the loops each client executes
+// under a mapping, the way the paper uses Omega's codegen(.) to emit the
+// per-client loop nests for the iteration chunks scheduled on it (§4.2).
+#pragma once
+
+#include <string>
+
+#include "core/mapping.h"
+#include "poly/loop_nest.h"
+
+namespace mlsc::core {
+
+/// C-like source for everything `client` executes, in schedule order.
+/// Baseline block items render with a note about their traversal order;
+/// iteration-chunk items render as exact loop nests over their ranges.
+std::string emit_client_source(const poly::Program& program,
+                               const MappingResult& mapping,
+                               std::size_t client);
+
+/// Source for all clients, separated by headers.
+std::string emit_all_clients_source(const poly::Program& program,
+                                    const MappingResult& mapping);
+
+}  // namespace mlsc::core

@@ -1,0 +1,276 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+
+std::uint64_t Cluster::make_order_key(const IterationChunk& chunk) {
+  // (nest, first rank) packed so nests sort before ranks; ranks stay
+  // below 2^48 for any tractable nest.
+  return (static_cast<std::uint64_t>(chunk.nest) << 48) |
+         (chunk.first_rank() & ((std::uint64_t{1} << 48) - 1));
+}
+
+Cluster Cluster::singleton(std::uint32_t chunk_index,
+                           const IterationChunk& chunk) {
+  Cluster c;
+  c.add_member(chunk_index, chunk);
+  return c;
+}
+
+void Cluster::absorb(Cluster&& other) {
+  members.insert(members.end(), other.members.begin(), other.members.end());
+  tag.add(other.tag);
+  iterations += other.iterations;
+  order_key = std::min(order_key, other.order_key);
+  other = Cluster{};
+}
+
+void Cluster::add_member(std::uint32_t chunk_index,
+                         const IterationChunk& chunk) {
+  members.push_back(chunk_index);
+  tag.add(chunk.tag);
+  iterations += chunk.iterations;
+  order_key = std::min(order_key, make_order_key(chunk));
+}
+
+void Cluster::remove_member(std::uint32_t chunk_index,
+                            const IterationChunk& chunk) {
+  auto it = std::find(members.begin(), members.end(), chunk_index);
+  MLSC_CHECK(it != members.end(),
+             "chunk " << chunk_index << " is not a member of this cluster");
+  members.erase(it);
+  tag.remove(chunk.tag);
+  MLSC_CHECK(iterations >= chunk.iterations, "cluster size underflow");
+  iterations -= chunk.iterations;
+}
+
+std::vector<Cluster> make_singletons(
+    const std::vector<std::uint32_t>& indices,
+    const std::vector<IterationChunk>& chunks) {
+  std::vector<Cluster> out;
+  out.reserve(indices.size());
+  for (std::uint32_t idx : indices) {
+    MLSC_CHECK(idx < chunks.size(), "chunk index out of range");
+    out.push_back(Cluster::singleton(idx, chunks[idx]));
+  }
+  return out;
+}
+
+namespace {
+
+/// One candidate merge, with the versions of both clusters at the time
+/// the score was computed (lazy invalidation).
+///
+/// The score is the cluster-tag dot product normalized by the member
+/// counts (average linkage).  The raw bitwise-sum dot grows linearly
+/// with cluster size, so once any data chunk is shared universally (a
+/// Fock matrix, a catalog) the largest cluster out-bids every genuinely
+/// similar pair and the greedy snowballs into one blob.  Normalizing by
+/// |a|*|b| measures per-member similarity; on the paper's worked example
+/// (Fig. 8) it is what reproduces the Fig. 9 clusters.
+struct MergeCandidate {
+  double score = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t version_a = 0;
+  std::uint32_t version_b = 0;
+
+  /// Max-heap by score; deterministic tie-break toward smaller indices.
+  bool operator<(const MergeCandidate& other) const {
+    if (score != other.score) return score < other.score;
+    if (a != other.a) return a > other.a;
+    return b > other.b;
+  }
+};
+
+void merge_to_count(std::vector<Cluster>& clusters, std::size_t target) {
+  const std::size_t n = clusters.size();
+  std::vector<bool> alive(n, true);
+  std::vector<std::uint32_t> version(n, 0);
+  std::priority_queue<MergeCandidate> heap;
+
+  // Inverted index: data chunk -> (cluster, per-chunk count, version).
+  // Only cluster pairs sharing a data chunk have a nonzero dot product,
+  // so candidate generation walks the index instead of the O(V^2) pair
+  // space, and the dot products of one cluster against every candidate
+  // accumulate in a single pass (dot(a,c) = sum over shared chunks of
+  // count_a * count_c).  Entries go stale when their cluster merges (its
+  // version bumps) and are compacted away on the next scan.
+  struct IndexEntry {
+    std::uint32_t cluster;
+    std::uint32_t count;
+    std::uint32_t version;
+  };
+  std::unordered_map<std::uint32_t, std::vector<IndexEntry>> bit_index;
+  auto index_cluster = [&](std::uint32_t id) {
+    for (const auto& entry : clusters[id].tag.entries()) {
+      bit_index[entry.pos].push_back(
+          IndexEntry{id, entry.count, version[id]});
+    }
+  };
+
+  std::vector<std::uint64_t> acc(n, 0);
+  std::vector<std::uint32_t> touched;
+  auto push_candidates = [&](std::uint32_t a) {
+    touched.clear();
+    for (const auto& tag_entry : clusters[a].tag.entries()) {
+      auto it = bit_index.find(tag_entry.pos);
+      if (it == bit_index.end()) continue;
+      const std::uint64_t ca = tag_entry.count;
+      // Compact stale entries while scanning.
+      auto& list = it->second;
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < list.size(); ++r) {
+        const IndexEntry& e = list[r];
+        if (!alive[e.cluster] || version[e.cluster] != e.version) continue;
+        list[w++] = e;
+        if (e.cluster == a) continue;
+        if (acc[e.cluster] == 0) touched.push_back(e.cluster);
+        acc[e.cluster] += ca * e.count;
+      }
+      list.resize(w);
+    }
+    for (std::uint32_t b : touched) {
+      const std::uint32_t lo = std::min(a, b);
+      const std::uint32_t hi = std::max(a, b);
+      const double denom = static_cast<double>(clusters[a].members.size()) *
+                           static_cast<double>(clusters[b].members.size());
+      heap.push(MergeCandidate{static_cast<double>(acc[b]) / denom, lo, hi,
+                               version[lo], version[hi]});
+      acc[b] = 0;
+    }
+  };
+  for (std::uint32_t a = 0; a < n; ++a) {
+    push_candidates(a);
+    index_cluster(a);
+  }
+
+  std::size_t alive_count = n;
+  while (alive_count > target) {
+    MergeCandidate best;
+    bool found = false;
+    while (!heap.empty()) {
+      best = heap.top();
+      heap.pop();
+      if (alive[best.a] && alive[best.b] &&
+          version[best.a] == best.version_a &&
+          version[best.b] == best.version_b) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // All remaining pairs share no data (the heap only carried stale
+      // entries).  With zero sharing, cache behaviour is indifferent to
+      // the grouping, but disk behaviour is not: merge the rank-adjacent
+      // pair with the smallest combined size, which keeps the mapping
+      // close to the sequential order (sequential on disk) and balanced.
+      std::vector<std::uint32_t> alive_ids;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (alive[i]) alive_ids.push_back(i);
+      }
+      MLSC_CHECK(alive_ids.size() >= 2, "fewer than two clusters alive");
+      std::sort(alive_ids.begin(), alive_ids.end(),
+                [&](std::uint32_t x, std::uint32_t y) {
+                  return clusters[x].order_key < clusters[y].order_key;
+                });
+      std::size_t best_pos = 0;
+      std::uint64_t best_size = UINT64_MAX;
+      for (std::size_t p = 0; p + 1 < alive_ids.size(); ++p) {
+        const std::uint64_t combined = clusters[alive_ids[p]].iterations +
+                                       clusters[alive_ids[p + 1]].iterations;
+        if (combined < best_size) {
+          best_size = combined;
+          best_pos = p;
+        }
+      }
+      best.a = std::min(alive_ids[best_pos], alive_ids[best_pos + 1]);
+      best.b = std::max(alive_ids[best_pos], alive_ids[best_pos + 1]);
+    }
+
+    clusters[best.a].absorb(std::move(clusters[best.b]));
+    alive[best.b] = false;
+    ++version[best.a];  // invalidates a's and the pair's old index entries
+    --alive_count;
+
+    if (alive_count <= target) break;
+    push_candidates(best.a);  // uses the merged tag's counts
+    index_cluster(best.a);    // re-index under the new version
+  }
+
+  std::vector<Cluster> survivors;
+  survivors.reserve(target);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (alive[i]) survivors.push_back(std::move(clusters[i]));
+  }
+  clusters = std::move(survivors);
+}
+
+/// Splits one cluster into two of roughly equal iteration counts.  A
+/// multi-member cluster is split by members (greedy first-fit descending,
+/// keeping shared-data members together is secondary to balance here,
+/// mirroring Fig. 5 which only splits for count, not affinity).  A
+/// single-member cluster splits its iteration chunk in half, growing the
+/// chunk table.
+std::pair<Cluster, Cluster> split_cluster(Cluster cluster,
+                                          std::vector<IterationChunk>& chunks) {
+  Cluster left;
+  Cluster right;
+  if (cluster.members.size() == 1) {
+    const std::uint32_t original = cluster.members.front();
+    MLSC_CHECK(chunks[original].iterations >= 2,
+               "cannot split a single-iteration chunk");
+    auto [head, tail] =
+        split_chunk(chunks[original], chunks[original].iterations / 2);
+    chunks[original] = std::move(head);
+    chunks.push_back(std::move(tail));
+    left.add_member(original, chunks[original]);
+    right.add_member(static_cast<std::uint32_t>(chunks.size() - 1),
+                     chunks.back());
+    return {std::move(left), std::move(right)};
+  }
+
+  std::sort(cluster.members.begin(), cluster.members.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (chunks[x].iterations != chunks[y].iterations) {
+                return chunks[x].iterations > chunks[y].iterations;
+              }
+              return x < y;
+            });
+  for (std::uint32_t member : cluster.members) {
+    Cluster& smaller = left.iterations <= right.iterations ? left : right;
+    smaller.add_member(member, chunks[member]);
+  }
+  return {std::move(left), std::move(right)};
+}
+
+}  // namespace
+
+void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
+                      std::vector<IterationChunk>& chunks) {
+  MLSC_CHECK(target >= 1, "target cluster count must be at least 1");
+  MLSC_CHECK(!clusters.empty(), "cannot cluster an empty set");
+
+  if (clusters.size() > target) {
+    merge_to_count(clusters, target);
+  }
+  while (clusters.size() < target) {
+    // Select the largest cluster (by iterations) and break it in two.
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < clusters.size(); ++i) {
+      if (clusters[i].iterations > clusters[largest].iterations) largest = i;
+    }
+    MLSC_CHECK(clusters[largest].iterations >= 2,
+               "not enough iterations to form " << target << " clusters");
+    auto [left, right] = split_cluster(std::move(clusters[largest]), chunks);
+    clusters[largest] = std::move(left);
+    clusters.push_back(std::move(right));
+  }
+}
+
+}  // namespace mlsc::core

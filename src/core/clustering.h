@@ -1,0 +1,53 @@
+// Stage 1 of the hierarchical distribution algorithm (Fig. 5): greedy
+// agglomerative clustering of iteration chunks by cluster-tag dot
+// product, plus the split path when a cluster set has fewer clusters
+// than the level's fan-out requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/iteration_chunk.h"
+#include "core/tag.h"
+
+namespace mlsc::core {
+
+/// A cluster of iteration chunks.  `members` index into the shared chunk
+/// table; `tag` is the bitwise sum of member tags; `iterations` is
+/// S(cα), the total iteration count.
+struct Cluster {
+  std::vector<std::uint32_t> members;
+  ClusterTag tag;
+  std::uint64_t iterations = 0;
+
+  /// Minimum (nest, first-rank) key over the members — used to prefer
+  /// rank-adjacent merges when clusters share no data, which keeps the
+  /// mapping close to the sequential order (and hence disk-sequential)
+  /// in sharing-free regions.
+  std::uint64_t order_key = UINT64_MAX;
+
+  static std::uint64_t make_order_key(const IterationChunk& chunk);
+
+  static Cluster singleton(std::uint32_t chunk_index,
+                           const IterationChunk& chunk);
+  void absorb(Cluster&& other);
+  void add_member(std::uint32_t chunk_index, const IterationChunk& chunk);
+  void remove_member(std::uint32_t chunk_index, const IterationChunk& chunk);
+};
+
+/// Wraps each chunk of `indices` in a singleton cluster.
+std::vector<Cluster> make_singletons(
+    const std::vector<std::uint32_t>& indices,
+    const std::vector<IterationChunk>& chunks);
+
+/// Reduces or expands `clusters` to exactly `target` clusters:
+///   - while |clusters| > target, merge the pair with maximal tag dot
+///     product (ties broken deterministically by smaller indices);
+///   - while |clusters| < target, split the largest cluster in two —
+///     by members when it has several, by splitting the underlying
+///     iteration chunk (appending to `chunks`) when it has one.
+/// `chunks` may grow; all member indices remain valid.
+void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
+                      std::vector<IterationChunk>& chunks);
+
+}  // namespace mlsc::core

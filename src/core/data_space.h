@@ -1,0 +1,57 @@
+// The data space and its division into equal-sized data chunks (Fig. 4).
+//
+// All disk-resident arrays are concatenated into one chunk numbering:
+// each array is partitioned separately into chunk_size-byte chunks (no
+// chunk spans two arrays), and numbering continues from the last chunk of
+// array t to the first chunk of array t+1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/policy.h"
+#include "poly/loop_nest.h"
+
+namespace mlsc::core {
+
+using cache::ChunkId;
+
+class DataSpace {
+ public:
+  DataSpace(const poly::Program& program, std::uint64_t chunk_size_bytes);
+
+  std::uint64_t chunk_size_bytes() const { return chunk_size_; }
+
+  /// r, the total number of data chunks (tag width).
+  std::uint32_t num_chunks() const { return num_chunks_; }
+
+  /// First chunk of a given array in the global numbering.
+  ChunkId array_first_chunk(poly::ArrayId array) const;
+
+  /// Number of chunks an array occupies.
+  std::uint32_t array_num_chunks(poly::ArrayId array) const;
+
+  /// Inclusive chunk range covered by one array element (an element can
+  /// straddle a chunk boundary when its byte range does).
+  struct ChunkSpan {
+    ChunkId first = 0;
+    ChunkId last = 0;
+  };
+  ChunkSpan element_chunks(poly::ArrayId array,
+                           std::uint64_t flat_element) const;
+
+  /// The array that owns a chunk (reverse lookup; linear in array count).
+  poly::ArrayId array_of_chunk(ChunkId chunk) const;
+
+ private:
+  std::uint64_t chunk_size_;
+  std::uint32_t num_chunks_ = 0;
+  struct ArrayInfo {
+    ChunkId first_chunk = 0;
+    std::uint32_t num_chunks = 0;
+    std::uint64_t element_size = 0;
+  };
+  std::vector<ArrayInfo> arrays_;
+};
+
+}  // namespace mlsc::core

@@ -1,0 +1,68 @@
+// Handling loops with data dependences (paper §5.4).
+//
+// Two strategies are implemented, exactly as the paper describes:
+//   kMergeClusters — dependent iteration chunks are clustered together
+//     (an "infinite edge weight"), so no inter-processor synchronization
+//     is ever needed; may cost parallelism.
+//   kSynchronize — dependences are treated as ordinary data sharing
+//     during clustering, and cross-client ordering constraints (sync
+//     edges) are inserted after scheduling.  This is the strategy the
+//     paper's implementation employs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/iteration_chunk.h"
+#include "core/mapping.h"
+#include "poly/dependence.h"
+
+namespace mlsc::core {
+
+enum class DependenceStrategy { kMergeClusters, kSynchronize };
+
+const char* dependence_strategy_name(DependenceStrategy strategy);
+
+/// A dependence between two iteration chunks of the same nest: every
+/// iteration of `dst` that matches the distance must run after the
+/// corresponding iteration of `src`.
+struct ChunkDependence {
+  std::uint32_t src = 0;  // chunk-table index
+  std::uint32_t dst = 0;
+};
+
+/// Finds chunk-level dependences for a nest's chunks.  Uniform
+/// dependences with constant distance map to a constant lexicographic
+/// rank shift; ranges are intersected after shifting.  Dependences with
+/// unknown ("*") components conservatively relate all chunk pairs whose
+/// tags share data of the written array.
+std::vector<ChunkDependence> find_chunk_dependences(
+    const poly::Program& program, poly::NestId nest_id,
+    std::span<const IterationChunk> chunks);
+
+/// Strategy 1: merges the connected components induced by the chunk
+/// dependences; returns the (smaller) chunk table.  Chunk indices are
+/// remapped, so run this before mapping.
+std::vector<IterationChunk> merge_dependent_chunks(
+    std::vector<IterationChunk> chunks,
+    const std::vector<ChunkDependence>& deps);
+
+/// Strategy 2: after mapping (and optional scheduling), converts chunk
+/// dependences whose endpoints landed on different clients into
+/// SyncEdges on the mapping.  Same-client dependences are honored by
+/// reordering violations away: if a consumer precedes its producer on
+/// the same client, their items are swapped.
+///
+/// The local scheduler's order may be infeasible under the dependences
+/// (clients could wait on each other cyclically).  When `program` is
+/// given, the first fallback is a *wavefront* order — items sorted by
+/// their position within the outermost loop's iteration, so a client
+/// revisits the same region across outer iterations back to back while
+/// cross-client halo waits pipeline — and the final fallback is plain
+/// rank (sequential) order, which is always feasible.
+void insert_sync_edges(MappingResult& mapping,
+                       const std::vector<ChunkDependence>& deps,
+                       const poly::Program* program = nullptr);
+
+}  // namespace mlsc::core

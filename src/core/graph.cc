@@ -1,0 +1,83 @@
+#include "core/graph.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+
+ChunkGraph::ChunkGraph(const std::vector<IterationChunk>& chunks)
+    : num_nodes_(chunks.size()) {
+  MLSC_CHECK(num_nodes_ <= 8192,
+             "similarity graph limited to 8192 nodes (got " << num_nodes_
+                                                            << ")");
+  weights_.assign(num_nodes_ * (num_nodes_ + 1) / 2, 0);
+  for (std::uint32_t a = 0; a < num_nodes_; ++a) {
+    for (std::uint32_t b = a + 1; b < num_nodes_; ++b) {
+      const std::uint64_t w = chunks[a].tag.common_bits(chunks[b].tag);
+      weights_[edge_index(a, b)] = w;
+      if (w > 0) edges_.push_back(GraphEdge{a, b, w});
+    }
+  }
+}
+
+std::size_t ChunkGraph::edge_index(std::uint32_t a, std::uint32_t b) const {
+  MLSC_DCHECK(a < num_nodes_ && b < num_nodes_, "graph node out of range");
+  if (a > b) std::swap(a, b);
+  // Upper-triangle row-major: row a starts after a full rows.
+  return static_cast<std::size_t>(a) * num_nodes_ -
+         static_cast<std::size_t>(a) * (a + 1) / 2 + b;
+}
+
+std::uint64_t ChunkGraph::weight(std::uint32_t a, std::uint32_t b) const {
+  if (a == b) return 0;
+  return weights_[edge_index(a, b)];
+}
+
+std::vector<std::uint32_t> ChunkGraph::neighbors(std::uint32_t node) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t other = 0; other < num_nodes_; ++other) {
+    if (other != node && weight(node, other) > 0) out.push_back(other);
+  }
+  return out;
+}
+
+void ChunkGraph::set_infinite(std::uint32_t a, std::uint32_t b) {
+  MLSC_CHECK(a != b, "cannot set a self edge");
+  auto& w = weights_[edge_index(a, b)];
+  const bool was_zero = (w == 0);
+  w = GraphEdge::kInfiniteWeight;
+  if (was_zero) {
+    edges_.push_back(GraphEdge{std::min(a, b), std::max(a, b), w});
+  } else {
+    for (auto& e : edges_) {
+      if (e.a == std::min(a, b) && e.b == std::max(a, b)) {
+        e.weight = GraphEdge::kInfiniteWeight;
+        break;
+      }
+    }
+  }
+}
+
+std::string ChunkGraph::to_dot(const std::vector<IterationChunk>& chunks,
+                               std::size_t tag_width) const {
+  std::ostringstream out;
+  out << "graph iteration_chunks {\n";
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    out << "  g" << n << " [label=\"γ" << n << "\\n"
+        << chunks[n].tag.to_string(tag_width) << "\"];\n";
+  }
+  for (const auto& e : edges_) {
+    out << "  g" << e.a << " -- g" << e.b << " [label=\"";
+    if (e.weight == GraphEdge::kInfiniteWeight) {
+      out << "inf";
+    } else {
+      out << e.weight;
+    }
+    out << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mlsc::core

@@ -1,0 +1,62 @@
+// The iteration-chunk similarity graph (paper §4.3, initialization step).
+//
+// Nodes are iteration chunks; the weight of edge (γΛi, γΛj) is the number
+// of common "1" bits in Λi ∧ Λj — the amount of data the two chunks
+// share at chunk granularity.  Zero-weight pairs get no edge (Fig. 8
+// omits them too).  The clustering stage computes dot products directly
+// on cluster tags for efficiency, so this graph mainly serves analysis,
+// visualization, the worked-example tests, and the dependence extension
+// (which adds infinite-weight edges).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/iteration_chunk.h"
+
+namespace mlsc::core {
+
+struct GraphEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t weight = 0;
+
+  static constexpr std::uint64_t kInfiniteWeight =
+      std::numeric_limits<std::uint64_t>::max();
+};
+
+class ChunkGraph {
+ public:
+  /// Builds the complete similarity structure over the chunk table;
+  /// O(V^2) pairings, so callers should bound the table size first.
+  explicit ChunkGraph(const std::vector<IterationChunk>& chunks);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Weight between two nodes; 0 when there is no edge.
+  std::uint64_t weight(std::uint32_t a, std::uint32_t b) const;
+
+  /// Neighbors of a node with nonzero weight.
+  std::vector<std::uint32_t> neighbors(std::uint32_t node) const;
+
+  /// Marks two chunks as inseparable (dependence extension §5.4,
+  /// strategy 1): the edge weight becomes infinite.
+  void set_infinite(std::uint32_t a, std::uint32_t b);
+
+  /// Graphviz dot rendering (used by the examples).
+  std::string to_dot(const std::vector<IterationChunk>& chunks,
+                     std::size_t tag_width) const;
+
+ private:
+  std::size_t edge_index(std::uint32_t a, std::uint32_t b) const;
+
+  std::size_t num_nodes_ = 0;
+  std::vector<std::uint64_t> weights_;  // dense upper triangle
+  std::vector<GraphEdge> edges_;        // nonzero edges only
+  bool edges_dirty_ = false;
+};
+
+}  // namespace mlsc::core

@@ -1,0 +1,60 @@
+#include "core/iteration_chunk.h"
+
+#include "support/check.h"
+
+namespace mlsc::core {
+
+std::uint64_t IterationChunk::first_rank() const {
+  MLSC_CHECK(!ranges.empty(), "first_rank() of an empty iteration chunk");
+  return ranges.front().begin;
+}
+
+std::pair<IterationChunk, IterationChunk> split_chunk(
+    const IterationChunk& chunk, std::uint64_t head_iterations) {
+  MLSC_CHECK(head_iterations > 0 && head_iterations < chunk.iterations,
+             "split size " << head_iterations << " not inside (0, "
+                           << chunk.iterations << ")");
+  IterationChunk head;
+  IterationChunk tail;
+  head.nest = tail.nest = chunk.nest;
+  head.tag = tail.tag = chunk.tag;
+
+  std::uint64_t remaining = head_iterations;
+  for (const auto& range : chunk.ranges) {
+    if (remaining == 0) {
+      tail.ranges.push_back(range);
+      continue;
+    }
+    if (range.size() <= remaining) {
+      head.ranges.push_back(range);
+      remaining -= range.size();
+    } else {
+      const std::uint64_t cut = range.begin + remaining;
+      head.ranges.push_back(poly::LinearRange{range.begin, cut});
+      tail.ranges.push_back(poly::LinearRange{cut, range.end});
+      remaining = 0;
+    }
+  }
+  head.iterations = head_iterations;
+  tail.iterations = chunk.iterations - head_iterations;
+  MLSC_CHECK(poly::total_range_size(head.ranges) == head.iterations &&
+                 poly::total_range_size(tail.ranges) == tail.iterations,
+             "split lost iterations");
+  return {std::move(head), std::move(tail)};
+}
+
+IterationChunk merge_chunks(const IterationChunk& a, const IterationChunk& b) {
+  MLSC_CHECK(a.nest == b.nest, "cannot merge chunks from different nests");
+  IterationChunk merged;
+  merged.nest = a.nest;
+  merged.tag = a.tag.merged_with(b.tag);
+  merged.ranges = a.ranges;
+  merged.ranges.insert(merged.ranges.end(), b.ranges.begin(), b.ranges.end());
+  merged.ranges = poly::normalize_ranges(std::move(merged.ranges));
+  merged.iterations = poly::total_range_size(merged.ranges);
+  MLSC_CHECK(merged.iterations == a.iterations + b.iterations,
+             "merged chunks overlapped");
+  return merged;
+}
+
+}  // namespace mlsc::core

@@ -1,0 +1,40 @@
+// Iteration chunks: the unit of distribution (paper §4.2).
+//
+// An iteration chunk γΛ is the set of iterations sharing tag Λ.  The set
+// is stored as ranges of lexicographic ranks within the owning nest, so a
+// chunk can be non-contiguous (the same access pattern recurring) and can
+// be split exactly during load balancing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tag.h"
+#include "poly/iteration_space.h"
+#include "poly/loop_nest.h"
+
+namespace mlsc::core {
+
+struct IterationChunk {
+  poly::NestId nest = 0;
+  ChunkTag tag;
+  std::vector<poly::LinearRange> ranges;  // normalized, disjoint
+  std::uint64_t iterations = 0;           // == total_range_size(ranges)
+
+  /// First rank owned by this chunk (ranges are sorted); used for
+  /// deterministic ordering.  Chunk must be non-empty.
+  std::uint64_t first_rank() const;
+};
+
+/// Splits `chunk` into (head, tail) where head holds exactly
+/// `head_iterations` iterations taken from the front ranges.  Both halves
+/// keep the original tag (an approximation the paper also makes: the tag
+/// describes chunk-level access, and splitting is a balancing measure).
+/// head_iterations must be in (0, chunk.iterations).
+std::pair<IterationChunk, IterationChunk> split_chunk(
+    const IterationChunk& chunk, std::uint64_t head_iterations);
+
+/// Merges b into a (tags unioned, ranges normalized); nests must match.
+IterationChunk merge_chunks(const IterationChunk& a, const IterationChunk& b);
+
+}  // namespace mlsc::core

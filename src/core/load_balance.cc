@@ -1,0 +1,200 @@
+#include "core/load_balance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+
+BalanceLimits balance_limits(std::uint64_t total, std::size_t count,
+                             double threshold) {
+  MLSC_CHECK(count > 0, "limits need at least one cluster");
+  MLSC_CHECK(threshold >= 0.0, "negative balance threshold");
+  const double ideal = static_cast<double>(total) / static_cast<double>(count);
+  BalanceLimits limits;
+  // Clamp so that a perfectly balanced partition is always admissible:
+  // floor(ideal) and ceil(ideal) must be inside the window.
+  limits.lower = std::min(static_cast<std::uint64_t>(std::floor(ideal)),
+                          static_cast<std::uint64_t>(ideal * (1.0 - threshold)));
+  limits.upper = std::max(static_cast<std::uint64_t>(std::ceil(ideal)),
+                          static_cast<std::uint64_t>(ideal * (1.0 + threshold)));
+  return limits;
+}
+
+namespace {
+
+std::uint64_t total_iterations(const std::vector<Cluster>& clusters) {
+  std::uint64_t total = 0;
+  for (const auto& c : clusters) total += c.iterations;
+  return total;
+}
+
+}  // namespace
+
+bool is_balanced(const std::vector<Cluster>& clusters,
+                 const BalanceOptions& options) {
+  const auto limits = balance_limits(total_iterations(clusters),
+                                     clusters.size(), options.threshold);
+  for (const auto& c : clusters) {
+    if (c.iterations < limits.lower || c.iterations > limits.upper) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t balance_clusters(std::vector<Cluster>& clusters,
+                             std::vector<IterationChunk>& chunks,
+                             const BalanceOptions& options,
+                             const BalanceLimits* explicit_limits) {
+  MLSC_CHECK(!clusters.empty(), "cannot balance an empty cluster set");
+  const std::uint64_t total = total_iterations(clusters);
+  auto limits = balance_limits(total, clusters.size(), options.threshold);
+  if (explicit_limits != nullptr) {
+    limits = *explicit_limits;
+    // Widen just enough that a partition of this set's actual total is
+    // admissible (floor/ceil of the local ideal must be inside).
+    limits.lower = std::min(limits.lower, total / clusters.size());
+    limits.upper = std::max(
+        limits.upper, (total + clusters.size() - 1) / clusters.size());
+  }
+  std::size_t moves = 0;
+
+  for (;;) {
+    // Donor: the largest cluster above the upper limit.
+    std::size_t donor = clusters.size();
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (clusters[i].iterations > limits.upper &&
+          (donor == clusters.size() ||
+           clusters[i].iterations > clusters[donor].iterations)) {
+        donor = i;
+      }
+    }
+    if (donor == clusters.size()) break;  // everyone within the limits
+
+    // Recipient: the smallest cluster (the paper prefers those below the
+    // lower limit; the smallest is always a valid such choice when one
+    // exists and degrades gracefully when none does).
+    std::size_t recipient = donor == 0 ? 1 : 0;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (i != donor &&
+          clusters[i].iterations < clusters[recipient].iterations) {
+        recipient = i;
+      }
+    }
+
+    const std::uint64_t allow_out = clusters[donor].iterations - limits.lower;
+    const std::uint64_t allow_in =
+        limits.upper - clusters[recipient].iterations;
+    const std::uint64_t move_max = std::min(allow_out, allow_in);
+    MLSC_CHECK(move_max >= 1,
+               "balance cannot make progress (limits "
+                   << limits.lower << ".." << limits.upper << ")");
+
+    // Pick the donor member with maximal affinity to the recipient among
+    // those that fit whole; otherwise take the best-affinity member and
+    // split it so exactly move_max iterations move.
+    std::uint32_t best_fit = UINT32_MAX;
+    std::uint64_t best_fit_dot = 0;
+    std::uint32_t best_any = UINT32_MAX;
+    std::uint64_t best_any_dot = 0;
+    for (std::uint32_t member : clusters[donor].members) {
+      const std::uint64_t d = clusters[recipient].tag.dot(chunks[member].tag);
+      if (chunks[member].iterations <= move_max &&
+          (best_fit == UINT32_MAX || d > best_fit_dot ||
+           (d == best_fit_dot &&
+            chunks[member].iterations > chunks[best_fit].iterations))) {
+        best_fit = member;
+        best_fit_dot = d;
+      }
+      if (best_any == UINT32_MAX || d > best_any_dot) {
+        best_any = member;
+        best_any_dot = d;
+      }
+    }
+
+    if (best_fit != UINT32_MAX) {
+      clusters[donor].remove_member(best_fit, chunks[best_fit]);
+      clusters[recipient].add_member(best_fit, chunks[best_fit]);
+    } else {
+      MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
+      // Split best_any into (move_max, rest): the head moves.
+      auto [head, tail] = split_chunk(chunks[best_any], move_max);
+      clusters[donor].remove_member(best_any, chunks[best_any]);
+      chunks[best_any] = std::move(head);
+      chunks.push_back(std::move(tail));
+      const auto tail_index = static_cast<std::uint32_t>(chunks.size() - 1);
+      clusters[recipient].add_member(best_any, chunks[best_any]);
+      clusters[donor].add_member(tail_index, chunks[tail_index]);
+    }
+    ++moves;
+    MLSC_CHECK(moves < 100000, "balance loop did not converge");
+  }
+
+  // Symmetric pass: pull up clusters below the lower limit.  (The limits
+  // are tight around the ideal, so under-full clusters can coexist with
+  // donors sitting exactly at the upper limit — the first pass alone
+  // leaves them starved.)
+  for (;;) {
+    std::size_t recipient = clusters.size();
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (clusters[i].iterations < limits.lower &&
+          (recipient == clusters.size() ||
+           clusters[i].iterations < clusters[recipient].iterations)) {
+        recipient = i;
+      }
+    }
+    if (recipient == clusters.size()) break;
+
+    std::size_t donor = recipient == 0 ? 1 : 0;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (i != recipient &&
+          clusters[i].iterations > clusters[donor].iterations) {
+        donor = i;
+      }
+    }
+    const std::uint64_t need = limits.lower - clusters[recipient].iterations;
+    MLSC_CHECK(clusters[donor].iterations > limits.lower,
+               "balance lower pass cannot make progress");
+    const std::uint64_t move_max =
+        std::min(need, clusters[donor].iterations - limits.lower);
+
+    std::uint32_t best_fit = UINT32_MAX;
+    std::uint64_t best_fit_dot = 0;
+    std::uint32_t best_any = UINT32_MAX;
+    std::uint64_t best_any_dot = 0;
+    for (std::uint32_t member : clusters[donor].members) {
+      const std::uint64_t d = clusters[recipient].tag.dot(chunks[member].tag);
+      if (chunks[member].iterations <= move_max &&
+          (best_fit == UINT32_MAX || d > best_fit_dot ||
+           (d == best_fit_dot &&
+            chunks[member].iterations > chunks[best_fit].iterations))) {
+        best_fit = member;
+        best_fit_dot = d;
+      }
+      if (best_any == UINT32_MAX || d > best_any_dot) {
+        best_any = member;
+        best_any_dot = d;
+      }
+    }
+    if (best_fit != UINT32_MAX) {
+      clusters[donor].remove_member(best_fit, chunks[best_fit]);
+      clusters[recipient].add_member(best_fit, chunks[best_fit]);
+    } else {
+      MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
+      auto [head, tail] = split_chunk(chunks[best_any], move_max);
+      clusters[donor].remove_member(best_any, chunks[best_any]);
+      chunks[best_any] = std::move(head);
+      chunks.push_back(std::move(tail));
+      const auto tail_index = static_cast<std::uint32_t>(chunks.size() - 1);
+      clusters[recipient].add_member(best_any, chunks[best_any]);
+      clusters[donor].add_member(tail_index, chunks[tail_index]);
+    }
+    ++moves;
+    MLSC_CHECK(moves < 200000, "balance lower pass did not converge");
+  }
+  return moves;
+}
+
+}  // namespace mlsc::core

@@ -1,0 +1,47 @@
+// The cache-hierarchy-conscious loop iteration distribution algorithm
+// (paper Fig. 5): hierarchical clustering of iteration chunks over the
+// storage cache hierarchy tree, with per-level load balancing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/data_space.h"
+#include "core/load_balance.h"
+#include "core/mapping.h"
+#include "core/tagging.h"
+#include "topology/hierarchy.h"
+
+namespace mlsc::core {
+
+struct HierarchicalMapperOptions {
+  /// BThres, the maximum tolerable relative imbalance (default 10%, the
+  /// value used in the paper's experiments, §5.2).
+  double balance_threshold = 0.10;
+  TaggingOptions tagging;
+};
+
+class HierarchicalMapper {
+ public:
+  HierarchicalMapper(const topology::HierarchyTree& tree,
+                     HierarchicalMapperOptions options = {});
+
+  /// Runs initialization (tagging), hierarchical clustering and load
+  /// balancing; returns one iteration-chunk list per client, in tree
+  /// leaf order.  `nests` may name several nests (multi-nest mode).
+  MappingResult map(const poly::Program& program, const DataSpace& space,
+                    std::span<const poly::NestId> nests) const;
+
+  /// Same, but starting from an existing chunk table (used by the
+  /// dependence extension, which pre-merges dependent chunks).
+  MappingResult map_chunks(std::vector<IterationChunk> chunks) const;
+
+  const topology::HierarchyTree& tree() const { return tree_; }
+  const HierarchicalMapperOptions& options() const { return options_; }
+
+ private:
+  const topology::HierarchyTree& tree_;
+  HierarchicalMapperOptions options_;
+};
+
+}  // namespace mlsc::core

@@ -1,0 +1,87 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+#include <map>
+
+#include "poly/loop_nest.h"
+#include "support/check.h"
+
+namespace mlsc::core {
+
+const char* mapper_kind_name(MapperKind kind) {
+  switch (kind) {
+    case MapperKind::kOriginal:
+      return "original";
+    case MapperKind::kIntraProcessor:
+      return "intra-processor";
+    case MapperKind::kInterProcessor:
+      return "inter-processor";
+  }
+  return "?";
+}
+
+std::uint64_t MappingResult::total_iterations() const {
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < client_work.size(); ++c) {
+    total += client_iterations(c);
+  }
+  return total;
+}
+
+std::uint64_t MappingResult::client_iterations(std::size_t client) const {
+  MLSC_CHECK(client < client_work.size(), "client out of range");
+  std::uint64_t total = 0;
+  for (const auto& item : client_work[client]) total += item.iterations;
+  return total;
+}
+
+double MappingResult::imbalance() const {
+  if (client_work.empty()) return 0.0;
+  const double mean = static_cast<double>(total_iterations()) /
+                      static_cast<double>(client_work.size());
+  if (mean == 0.0) return 0.0;
+  double worst = 0.0;
+  for (std::size_t c = 0; c < client_work.size(); ++c) {
+    const double dev =
+        std::abs(static_cast<double>(client_iterations(c)) - mean) / mean;
+    worst = std::max(worst, dev);
+  }
+  return worst;
+}
+
+void MappingResult::validate_partition(const poly::Program& program) const {
+  // Group position ranges by (nest, order-identity flag): all items of a
+  // nest must agree on the traversal order for the partition to be
+  // meaningful over positions.
+  std::map<poly::NestId, std::vector<poly::LinearRange>> by_nest;
+  std::map<poly::NestId, std::string> order_of;
+  for (const auto& work : client_work) {
+    for (const auto& item : work) {
+      auto [it, inserted] =
+          order_of.try_emplace(item.nest, item.order.to_string());
+      MLSC_CHECK(it->second == item.order.to_string(),
+                 "items of nest " << item.nest
+                                  << " disagree on traversal order");
+      auto& ranges = by_nest[item.nest];
+      ranges.insert(ranges.end(), item.ranges.begin(), item.ranges.end());
+      MLSC_CHECK(item.iterations == poly::total_range_size(item.ranges),
+                 "work item iteration count out of sync with its ranges");
+    }
+  }
+  for (auto& [nest_id, ranges] : by_nest) {
+    const std::uint64_t expected = program.nest(nest_id).space.size();
+    const std::uint64_t before = poly::total_range_size(ranges);
+    MLSC_CHECK(before == expected, "nest " << nest_id << " covers " << before
+                                           << " of " << expected
+                                           << " iterations");
+    const auto merged = poly::normalize_ranges(std::move(ranges));
+    // If ranges overlapped, normalization would shrink the total.
+    MLSC_CHECK(poly::total_range_size(merged) == expected,
+               "nest " << nest_id << " has overlapping client ranges");
+    MLSC_CHECK(merged.size() == 1 && merged.front().begin == 0 &&
+                   merged.front().end == expected,
+               "nest " << nest_id << " ranges leave gaps");
+  }
+}
+
+}  // namespace mlsc::core

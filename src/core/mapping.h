@@ -1,0 +1,79 @@
+// The result of iteration-to-processor mapping: per-client ordered work.
+//
+// All three schemes of the paper's evaluation (original, intra-processor,
+// inter-processor) produce a MappingResult; the simulator consumes it
+// uniformly.  A WorkItem is a set of iteration positions of one nest
+// under one traversal order:
+//   - for the original / intra-processor schemes, positions are indices
+//     into the (possibly permuted/tiled) traversal sequence and each
+//     client gets one contiguous block per nest;
+//   - for the inter-processor scheme, each WorkItem is an iteration
+//     chunk and positions are lexicographic ranks (identity order).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/iteration_chunk.h"
+#include "poly/order.h"
+
+namespace mlsc::core {
+
+enum class MapperKind { kOriginal, kIntraProcessor, kInterProcessor };
+
+const char* mapper_kind_name(MapperKind kind);
+
+struct WorkItem {
+  poly::NestId nest = 0;
+  poly::IterationOrder order;             // traversal order of positions
+  std::vector<poly::LinearRange> ranges;  // positions in that order
+  std::uint64_t iterations = 0;
+
+  /// Index into MappingResult::chunk_table for inter-processor items;
+  /// -1 for baseline block items.
+  std::int32_t chunk = -1;
+};
+
+/// A cross-client ordering constraint from a data dependence (§5.4):
+/// the consumer item must not start before the producer item completes.
+struct SyncEdge {
+  std::uint32_t producer_client = 0;
+  std::uint32_t producer_item = 0;
+  std::uint32_t consumer_client = 0;
+  std::uint32_t consumer_item = 0;
+};
+
+struct MappingResult {
+  MapperKind kind = MapperKind::kOriginal;
+  std::string mapper_name;
+
+  /// Iteration chunk table (inter-processor scheme only; empty for the
+  /// baselines).  WorkItem::chunk indexes into it.
+  std::vector<IterationChunk> chunk_table;
+
+  /// client_work[c] is the ordered list of work client c executes.
+  std::vector<std::vector<WorkItem>> client_work;
+
+  /// Synchronization constraints inserted by the dependence extension.
+  std::vector<SyncEdge> sync_edges;
+
+  /// True when the local scheduling enhancement (Fig. 15) ordered the
+  /// items; false means assignment order (the paper's baseline executes
+  /// chunks in unspecified order).
+  bool scheduled = false;
+
+  std::size_t num_clients() const { return client_work.size(); }
+  std::uint64_t total_iterations() const;
+  std::uint64_t client_iterations(std::size_t client) const;
+
+  /// Maximum relative deviation of any client's iteration count from the
+  /// mean (0 = perfectly balanced).
+  double imbalance() const;
+
+  /// Throws unless, for every (nest, order) pair, the union of all
+  /// clients' position ranges is an exact partition of [0, nest size).
+  void validate_partition(const poly::Program& program) const;
+};
+
+}  // namespace mlsc::core

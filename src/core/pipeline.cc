@@ -1,0 +1,80 @@
+#include "core/pipeline.h"
+
+#include <numeric>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+
+MappingPipeline::MappingPipeline(const topology::HierarchyTree& tree,
+                                 PipelineOptions options)
+    : tree_(tree), options_(options) {
+  MLSC_CHECK(tree_.finalized(), "hierarchy tree must be finalized");
+}
+
+MappingResult MappingPipeline::run(const poly::Program& program,
+                                   const DataSpace& space,
+                                   std::span<const poly::NestId> nests) const {
+  MLSC_CHECK(!nests.empty(), "no nests to map");
+
+  switch (options_.mapper) {
+    case MapperKind::kOriginal:
+      return map_original(program, nests, tree_.num_clients());
+    case MapperKind::kIntraProcessor:
+      return map_intra_processor(program, space, nests, tree_.num_clients(),
+                                 options_.intra);
+    case MapperKind::kInterProcessor:
+      break;
+  }
+
+  auto tagging =
+      compute_iteration_chunks(program, space, nests, options_.tagging);
+  auto chunks = std::move(tagging.chunks);
+
+  // Dependence handling, strategy 1: pre-merge dependent chunks so the
+  // clustering can never separate them.
+  std::vector<ChunkDependence> all_deps;
+  for (poly::NestId nest_id : nests) {
+    auto deps = find_chunk_dependences(program, nest_id, chunks);
+    all_deps.insert(all_deps.end(), deps.begin(), deps.end());
+  }
+  if (options_.dependences == DependenceStrategy::kMergeClusters &&
+      !all_deps.empty()) {
+    chunks = merge_dependent_chunks(std::move(chunks), all_deps);
+    all_deps.clear();
+  }
+
+  HierarchicalMapperOptions mapper_options;
+  mapper_options.balance_threshold = options_.balance_threshold;
+  mapper_options.tagging = options_.tagging;
+  HierarchicalMapper mapper(tree_, mapper_options);
+  auto mapping = mapper.map_chunks(std::move(chunks));
+
+  if (options_.schedule) {
+    schedule_mapping(mapping, tree_, options_.scheduler);
+  }
+
+  // Dependence handling, strategy 2: chunk indices may have been split by
+  // the balancer, but splits keep both halves' indices valid and the
+  // dependences were computed pre-split on the same table prefix; any
+  // residual pairs resolve against the final placement here.
+  if (options_.dependences == DependenceStrategy::kSynchronize) {
+    std::vector<ChunkDependence> final_deps;
+    for (poly::NestId nest_id : nests) {
+      auto deps = find_chunk_dependences(program, nest_id,
+                                         mapping.chunk_table);
+      final_deps.insert(final_deps.end(), deps.begin(), deps.end());
+    }
+    insert_sync_edges(mapping, final_deps, &program);
+  }
+  return mapping;
+}
+
+MappingResult MappingPipeline::run_all(const poly::Program& program,
+                                       const DataSpace& space) const {
+  std::vector<poly::NestId> nests(program.nests.size());
+  std::iota(nests.begin(), nests.end(), 0u);
+  return run(program, space, nests);
+}
+
+}  // namespace mlsc::core

@@ -1,0 +1,63 @@
+// MappingPipeline: the library's top-level entry point.
+//
+// Mirrors what the paper's Phoenix-based implementation does at compile
+// time: take a (parallelized) program, a storage cache hierarchy
+// description and a chunked data space, and produce the
+// iteration-to-processor mapping — original, intra-processor, or the
+// paper's inter-processor scheme, optionally with the Fig. 15 scheduling
+// enhancement and §5.4 dependence handling.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/baselines.h"
+#include "core/data_space.h"
+#include "core/dependences.h"
+#include "core/mapper.h"
+#include "core/mapping.h"
+#include "core/scheduler.h"
+#include "topology/hierarchy.h"
+
+namespace mlsc::core {
+
+struct PipelineOptions {
+  MapperKind mapper = MapperKind::kInterProcessor;
+
+  /// BThres (§4.3); the paper's experiments use 10%.
+  double balance_threshold = 0.10;
+
+  /// Applies the Fig. 15 local scheduling pass (inter-processor only).
+  bool schedule = false;
+  SchedulerOptions scheduler;
+
+  /// §5.4 dependence handling; kSynchronize is the paper's choice.
+  DependenceStrategy dependences = DependenceStrategy::kSynchronize;
+
+  TaggingOptions tagging;
+  IntraProcessorOptions intra;
+};
+
+class MappingPipeline {
+ public:
+  MappingPipeline(const topology::HierarchyTree& tree,
+                  PipelineOptions options = {});
+
+  /// Maps the given nests of the program onto the tree's clients.
+  /// Multi-nest handling (§5.4) is automatic when several nests are
+  /// passed: their iteration chunks are clustered together.
+  MappingResult run(const poly::Program& program, const DataSpace& space,
+                    std::span<const poly::NestId> nests) const;
+
+  /// Convenience: maps every nest of the program.
+  MappingResult run_all(const poly::Program& program,
+                        const DataSpace& space) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  const topology::HierarchyTree& tree_;
+  PipelineOptions options_;
+};
+
+}  // namespace mlsc::core

@@ -1,0 +1,222 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+/// Remaining (unscheduled) chunks of one client.
+struct ClientState {
+  std::vector<std::uint32_t> remaining;  // indices into client_work items
+  std::vector<std::uint32_t> scheduled;  // in final execution order
+  std::uint64_t scheduled_iterations = 0;
+};
+
+class GroupScheduler {
+ public:
+  GroupScheduler(MappingResult& mapping, std::vector<std::size_t> group,
+                 const SchedulerOptions& options)
+      : mapping_(mapping), group_(std::move(group)), options_(options) {
+    states_.resize(group_.size());
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      auto& items = mapping_.client_work[group_[i]];
+      states_[i].remaining.resize(items.size());
+      for (std::uint32_t k = 0; k < items.size(); ++k) {
+        states_[i].remaining[k] = k;
+      }
+    }
+  }
+
+  void run() {
+    while (any_remaining()) {
+      bool progress = false;
+      for (std::size_t i = 0; i < group_.size(); ++i) {
+        progress |= step_client(i);
+      }
+      if (!progress) force_one();
+    }
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      apply_order(i);
+    }
+  }
+
+ private:
+  const ChunkTag& tag_of(std::size_t i, std::uint32_t item_index) const {
+    const WorkItem& item = mapping_.client_work[group_[i]][item_index];
+    MLSC_CHECK(item.chunk >= 0, "scheduler requires inter-processor items");
+    return mapping_.chunk_table[static_cast<std::size_t>(item.chunk)].tag;
+  }
+
+  std::uint64_t iterations_of(std::size_t i, std::uint32_t item_index) const {
+    return mapping_.client_work[group_[i]][item_index].iterations;
+  }
+
+  bool any_remaining() const {
+    return std::any_of(states_.begin(), states_.end(), [](const auto& s) {
+      return !s.remaining.empty();
+    });
+  }
+
+  /// The last chunk scheduled on client i, if any.
+  const ChunkTag* last_scheduled_tag(std::size_t i) const {
+    if (states_[i].scheduled.empty()) return nullptr;
+    return &tag_of(i, states_[i].scheduled.back());
+  }
+
+  void take(std::size_t i, std::size_t position_in_remaining) {
+    auto& state = states_[i];
+    const std::uint32_t item = state.remaining[position_in_remaining];
+    state.remaining.erase(state.remaining.begin() +
+                          static_cast<std::ptrdiff_t>(position_in_remaining));
+    state.scheduled.push_back(item);
+    state.scheduled_iterations += iterations_of(i, item);
+  }
+
+  /// Picks argmax of `score` over remaining chunks of client i, breaking
+  /// ties toward the smaller item index, and schedules it.
+  template <typename ScoreFn>
+  void take_best(std::size_t i, ScoreFn&& score) {
+    const auto& remaining = states_[i].remaining;
+    MLSC_DCHECK(!remaining.empty(), "take_best on exhausted client");
+    std::size_t best = 0;
+    double best_score = score(remaining[0]);
+    for (std::size_t k = 1; k < remaining.size(); ++k) {
+      const double s = score(remaining[k]);
+      if (s > best_score) {
+        best_score = s;
+        best = k;
+      }
+    }
+    take(i, best);
+  }
+
+  void take_fewest_bits(std::size_t i) {
+    take_best(i, [&](std::uint32_t item) {
+      return -static_cast<double>(tag_of(i, item).popcount());
+    });
+  }
+
+  /// One pass of the Fig. 15 inner loop for client i; returns true when
+  /// at least one chunk was scheduled.
+  bool step_client(std::size_t i) {
+    auto& state = states_[i];
+    if (state.remaining.empty()) return false;
+
+    const bool first_client = (i == 0);
+    if (state.scheduled.empty()) {
+      if (first_client) {
+        // The iteration chunk that accesses the least number of data
+        // chunks starts the schedule.
+        take_fewest_bits(i);
+      } else {
+        // Minimal Hamming distance to (max dot product with) the last
+        // chunk scheduled on the previous client.
+        const ChunkTag* left = last_scheduled_tag(i - 1);
+        if (left == nullptr) {
+          take_fewest_bits(i);
+        } else {
+          take_best(i, [&](std::uint32_t item) {
+            return options_.alpha *
+                   static_cast<double>(tag_of(i, item).common_bits(*left));
+          });
+        }
+      }
+      return true;
+    }
+
+    // Later rounds: keep scheduling while behind the balance reference —
+    // the previous client, or (for the first client, circularly) the last
+    // client of the group.
+    const std::size_t reference = first_client ? group_.size() - 1 : i - 1;
+    bool advanced = false;
+    while (!state.remaining.empty() &&
+           state.scheduled_iterations <
+               states_[reference].scheduled_iterations) {
+      const ChunkTag* up = last_scheduled_tag(i);  // own previous chunk
+      if (first_client) {
+        take_best(i, [&](std::uint32_t item) {
+          return options_.beta *
+                 static_cast<double>(tag_of(i, item).common_bits(*up));
+        });
+      } else {
+        const ChunkTag* left = last_scheduled_tag(i - 1);
+        take_best(i, [&](std::uint32_t item) {
+          const auto& tag = tag_of(i, item);
+          double s = options_.beta *
+                     static_cast<double>(tag.common_bits(*up));
+          if (left != nullptr) {
+            s += options_.alpha *
+                 static_cast<double>(tag.common_bits(*left));
+          }
+          return s;
+        });
+      }
+      advanced = true;
+    }
+    return advanced;
+  }
+
+  /// Deadlock breaker: when every client is at or ahead of its balance
+  /// reference, force one chunk onto the first client that has work.
+  void force_one() {
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      if (states_[i].remaining.empty()) continue;
+      const ChunkTag* up = last_scheduled_tag(i);
+      if (up == nullptr) {
+        take_fewest_bits(i);
+      } else {
+        take_best(i, [&](std::uint32_t item) {
+          return options_.beta *
+                 static_cast<double>(tag_of(i, item).common_bits(*up));
+        });
+      }
+      return;
+    }
+    MLSC_CHECK(false, "force_one called with no remaining work");
+  }
+
+  void apply_order(std::size_t i) {
+    auto& items = mapping_.client_work[group_[i]];
+    std::vector<WorkItem> ordered;
+    ordered.reserve(items.size());
+    for (std::uint32_t item : states_[i].scheduled) {
+      ordered.push_back(std::move(items[item]));
+    }
+    MLSC_CHECK(ordered.size() == items.size(),
+               "scheduler dropped work items");
+    items = std::move(ordered);
+  }
+
+  MappingResult& mapping_;
+  std::vector<std::size_t> group_;  // client ranks, left to right
+  SchedulerOptions options_;
+  std::vector<ClientState> states_;
+};
+
+}  // namespace
+
+void schedule_mapping(MappingResult& mapping,
+                      const topology::HierarchyTree& tree,
+                      const SchedulerOptions& options) {
+  MLSC_CHECK(mapping.kind == MapperKind::kInterProcessor,
+             "scheduling applies to the inter-processor mapping");
+  MLSC_CHECK(mapping.num_clients() == tree.num_clients(),
+             "mapping client count does not match the tree");
+
+  // Group clients by their parent (I/O-level) node, in leaf order.
+  const std::uint32_t leaf_level = tree.num_levels() - 1;
+  MLSC_CHECK(leaf_level >= 1, "tree must have an I/O level above clients");
+  for (topology::NodeId parent : tree.level_nodes(leaf_level - 1)) {
+    std::vector<std::size_t> group;
+    for (topology::NodeId child : tree.node(parent).children) {
+      group.push_back(tree.client_rank(child));
+    }
+    if (group.empty()) continue;
+    GroupScheduler(mapping, std::move(group), options).run();
+  }
+  mapping.scheduled = true;
+}
+
+}  // namespace mlsc::core

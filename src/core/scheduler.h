@@ -1,0 +1,30 @@
+// The local scheduling enhancement (paper §5.4, Fig. 15).
+//
+// After the distribution algorithm assigns iteration chunks to clients,
+// this pass orders each client's chunks to maximize chunk-level data
+// reuse in two dimensions: vertically, with the chunk previously
+// scheduled on the same client (weight β, client-cache reuse), and
+// horizontally, with the chunk scheduled in the same round on the
+// previous client of the same I/O group (weight α, shared-cache reuse).
+// Scheduling proceeds round-robin over the clients sharing each I/O
+// cache, keeping iteration counts balanced circularly.
+#pragma once
+
+#include "core/mapping.h"
+#include "topology/hierarchy.h"
+
+namespace mlsc::core {
+
+struct SchedulerOptions {
+  double alpha = 0.5;  // I/O-level (horizontal) cache reuse factor
+  double beta = 0.5;   // client-level (vertical) cache reuse factor
+};
+
+/// Reorders each client's work items in place per the Fig. 15 algorithm.
+/// The mapping must come from the inter-processor mapper (items carry
+/// iteration-chunk tags).  Marks the result as scheduled.
+void schedule_mapping(MappingResult& mapping,
+                      const topology::HierarchyTree& tree,
+                      const SchedulerOptions& options = {});
+
+}  // namespace mlsc::core

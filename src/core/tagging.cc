@@ -1,0 +1,144 @@
+#include "core/tagging.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+/// Coarsens the chunk table by repeatedly merging rank-adjacent chunk
+/// pairs (within the same nest) until at most `bound` chunks remain.
+/// Adjacent-in-rank chunks are the most likely to share data, so the
+/// union tags stay tight.
+std::vector<IterationChunk> coarsen(std::vector<IterationChunk> chunks,
+                                    std::uint32_t bound) {
+  while (chunks.size() > bound) {
+    std::sort(chunks.begin(), chunks.end(),
+              [](const IterationChunk& a, const IterationChunk& b) {
+                if (a.nest != b.nest) return a.nest < b.nest;
+                return a.first_rank() < b.first_rank();
+              });
+    std::vector<IterationChunk> next;
+    next.reserve(chunks.size() / 2 + 1);
+    std::size_t i = 0;
+    while (i < chunks.size()) {
+      // Stop merging once the projected final count is within the bound.
+      const std::size_t projected = next.size() + (chunks.size() - i);
+      if (projected > bound && i + 1 < chunks.size() &&
+          chunks[i].nest == chunks[i + 1].nest) {
+        next.push_back(merge_chunks(chunks[i], chunks[i + 1]));
+        i += 2;
+      } else {
+        next.push_back(std::move(chunks[i]));
+        i += 1;
+      }
+    }
+    if (next.size() == chunks.size()) break;  // nothing mergeable
+    chunks = std::move(next);
+  }
+  return chunks;
+}
+
+}  // namespace
+
+void iteration_footprint(const poly::Program& program,
+                         const poly::LoopNest& nest, const DataSpace& space,
+                         std::span<const std::int64_t> iter,
+                         std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (const auto& ref : nest.refs) {
+    const std::uint64_t flat = poly::resolve_element(program, ref, iter);
+    const auto span = space.element_chunks(ref.array, flat);
+    for (ChunkId c = span.first; c <= span.last; ++c) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+TaggingResult compute_iteration_chunks(const poly::Program& program,
+                                       const DataSpace& space,
+                                       std::span<const poly::NestId> nests,
+                                       const TaggingOptions& options) {
+  TaggingResult result;
+  result.num_data_chunks = space.num_chunks();
+
+  std::unordered_map<ChunkTag, std::size_t, ChunkTagHash> tag_index;
+  std::vector<IterationChunk> chunks;
+
+  std::vector<std::uint32_t> footprint;
+
+  for (poly::NestId nest_id : nests) {
+    const poly::LoopNest& nest = program.nest(nest_id);
+    if (nest.space.empty()) continue;
+
+    poly::Iteration iter = nest.space.first();
+    std::uint64_t rank = 0;
+
+    ChunkTag run_tag;        // tag of the open run
+    std::uint64_t run_begin = 0;
+    bool run_open = false;
+
+    auto flush_run = [&](std::uint64_t end_rank) {
+      if (!run_open) return;
+      auto [it, inserted] = tag_index.try_emplace(run_tag, chunks.size());
+      if (inserted) {
+        IterationChunk chunk;
+        chunk.nest = nest_id;
+        chunk.tag = run_tag;
+        chunks.push_back(std::move(chunk));
+      }
+      IterationChunk& chunk = chunks[it->second];
+      MLSC_CHECK(chunk.nest == nest_id,
+                 "tag shared across nests must not be hash-consed together");
+      chunk.ranges.push_back(poly::LinearRange{run_begin, end_rank});
+      chunk.iterations += end_rank - run_begin;
+    };
+
+    bool more = true;
+    while (more) {
+      iteration_footprint(program, nest, space, iter, footprint);
+      ChunkTag tag = ChunkTag::from_bits(footprint);
+
+      if (!run_open) {
+        run_tag = std::move(tag);
+        run_begin = rank;
+        run_open = true;
+      } else if (!(tag == run_tag)) {
+        flush_run(rank);
+        run_tag = std::move(tag);
+        run_begin = rank;
+      }
+
+      more = nest.space.advance(iter);
+      ++rank;
+    }
+    flush_run(rank);
+    // Reset the hash-cons table across nests: chunks never span nests.
+    tag_index.clear();
+    result.total_iterations += nest.space.size();
+  }
+
+  // Normalize ranges (they were appended in rank order per nest, so this
+  // mostly merges adjacent re-runs of the same tag).
+  for (auto& chunk : chunks) {
+    chunk.ranges = poly::normalize_ranges(std::move(chunk.ranges));
+    chunk.iterations = poly::total_range_size(chunk.ranges);
+  }
+
+  if (chunks.size() > options.max_iteration_chunks) {
+    chunks = coarsen(std::move(chunks), options.max_iteration_chunks);
+    result.coarsened = true;
+  }
+  result.chunks = std::move(chunks);
+
+  std::uint64_t covered = 0;
+  for (const auto& chunk : result.chunks) covered += chunk.iterations;
+  MLSC_CHECK(covered == result.total_iterations,
+             "iteration chunks do not partition the iteration set: "
+                 << covered << " vs " << result.total_iterations);
+  return result;
+}
+
+}  // namespace mlsc::core

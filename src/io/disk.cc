@@ -1,0 +1,53 @@
+#include "io/disk.h"
+
+#include "support/check.h"
+
+namespace mlsc::io {
+
+DiskModel::DiskModel(DiskParams params) : params_(params) {
+  MLSC_CHECK(params_.rpm > 0, "disk rpm must be positive");
+  MLSC_CHECK(params_.transfer_bandwidth_bytes_per_s > 0,
+             "disk bandwidth must be positive");
+  MLSC_CHECK(params_.sequential_discount >= 0.0 &&
+                 params_.sequential_discount <= 1.0,
+             "sequential discount must be in [0, 1]");
+  // One revolution takes 60e9 / rpm nanoseconds; average rotational
+  // latency is half of that.
+  rotational_delay_ = static_cast<Nanoseconds>(
+      60.0 * 1e9 / static_cast<double>(params_.rpm) / 2.0);
+}
+
+Nanoseconds DiskModel::service_time(std::uint64_t bytes,
+                                    SeekClass seek) const {
+  const double positioning =
+      static_cast<double>(params_.average_seek + rotational_delay_);
+  double fraction = 1.0;
+  switch (seek) {
+    case SeekClass::kSequential:
+      fraction = params_.sequential_discount;
+      break;
+    case SeekClass::kNear:
+      fraction = params_.near_discount;
+      break;
+    case SeekClass::kFar:
+      fraction = 1.0;
+      break;
+  }
+  const double transfer =
+      static_cast<double>(bytes) * 1e9 /
+      static_cast<double>(params_.transfer_bandwidth_bytes_per_s);
+  return static_cast<Nanoseconds>(positioning * fraction + transfer) +
+         params_.controller_overhead;
+}
+
+SeekClass DiskModel::classify_seek(std::uint64_t previous_chunk,
+                                   std::uint64_t chunk) const {
+  const std::uint64_t distance =
+      chunk > previous_chunk ? chunk - previous_chunk
+                             : previous_chunk - chunk;
+  if (distance <= 1) return SeekClass::kSequential;
+  if (distance <= params_.near_window_chunks) return SeekClass::kNear;
+  return SeekClass::kFar;
+}
+
+}  // namespace mlsc::io

@@ -1,0 +1,57 @@
+// Disk service-time model for the storage nodes.
+//
+// Table 1 of the paper fixes 10,000 RPM disks; the model charges average
+// seek + half-rotation + transfer + controller overhead per request, with
+// a reduced positioning cost for sequential follow-on requests.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.h"
+
+namespace mlsc::io {
+
+struct DiskParams {
+  std::uint32_t rpm = 10'000;                      // Table 1
+  Nanoseconds average_seek = 4'700 * kMicrosecond;  // typical 10k RPM drive
+  std::uint64_t transfer_bandwidth_bytes_per_s = 120ull * kMiB;
+  Nanoseconds controller_overhead = 200 * kMicrosecond;
+
+  /// Fraction of the positioning cost charged when a request is
+  /// sequential with (adjacent to) the previous one on the same disk.
+  double sequential_discount = 0.15;
+
+  /// Fraction charged for a short elevator hop: the server's request
+  /// scheduler and track buffer make nearby blocks much cheaper than a
+  /// full stroke even when they are not strictly in order.
+  double near_discount = 0.4;
+
+  /// Distance (in chunks on the same disk) still considered "near".
+  std::uint64_t near_window_chunks = 128;
+};
+
+/// How far a request lands from the previous one on the same spindle.
+enum class SeekClass { kSequential, kNear, kFar };
+
+class DiskModel {
+ public:
+  explicit DiskModel(DiskParams params);
+
+  /// Average rotational delay: half a revolution.
+  Nanoseconds rotational_delay() const { return rotational_delay_; }
+
+  /// Service time of one request of `bytes`, excluding queueing.
+  Nanoseconds service_time(std::uint64_t bytes, SeekClass seek) const;
+
+  /// Classifies a request by chunk distance from the previous request.
+  SeekClass classify_seek(std::uint64_t previous_chunk,
+                          std::uint64_t chunk) const;
+
+  const DiskParams& params() const { return params_; }
+
+ private:
+  DiskParams params_;
+  Nanoseconds rotational_delay_;
+};
+
+}  // namespace mlsc::io

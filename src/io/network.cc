@@ -1,0 +1,30 @@
+#include "io/network.h"
+
+#include "support/check.h"
+
+namespace mlsc::io {
+
+NetworkModel::NetworkModel(NetworkParams params) : params_(params) {
+  MLSC_CHECK(params_.bandwidth_bytes_per_s > 0,
+             "network bandwidth must be positive");
+  MLSC_CHECK(params_.memory_bandwidth_bytes_per_s > 0,
+             "memory bandwidth must be positive");
+}
+
+Nanoseconds NetworkModel::local_copy_time(std::uint64_t bytes) const {
+  const double copy =
+      static_cast<double>(bytes) * 1e9 /
+      static_cast<double>(params_.memory_bandwidth_bytes_per_s);
+  return params_.memory_latency + static_cast<Nanoseconds>(copy);
+}
+
+Nanoseconds NetworkModel::transfer_time(std::uint64_t bytes,
+                                        std::uint32_t hops) const {
+  if (hops == 0) return local_copy_time(bytes);
+  const double wire = static_cast<double>(bytes) * 1e9 /
+                      static_cast<double>(params_.bandwidth_bytes_per_s);
+  return static_cast<Nanoseconds>(hops) * params_.per_hop_latency +
+         static_cast<Nanoseconds>(wire) + local_copy_time(bytes);
+}
+
+}  // namespace mlsc::io

@@ -1,0 +1,39 @@
+// Network model for the links between compute, I/O and storage layers.
+//
+// The paper's platform connects I/O nodes to the file system servers over
+// a 10GigE network; the model charges a per-hop latency plus a bandwidth
+// term per transferred chunk.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.h"
+
+namespace mlsc::io {
+
+struct NetworkParams {
+  Nanoseconds per_hop_latency = 30 * kMicrosecond;
+  std::uint64_t bandwidth_bytes_per_s = 1'250ull * kMiB;  // 10 GigE
+
+  /// Memory-copy bandwidth for serving a chunk out of a local cache.
+  std::uint64_t memory_bandwidth_bytes_per_s = 4ull * kGiB;
+  Nanoseconds memory_latency = 2 * kMicrosecond;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkParams params);
+
+  /// Cost of copying a chunk out of a cache in local memory.
+  Nanoseconds local_copy_time(std::uint64_t bytes) const;
+
+  /// Cost of moving a chunk across `hops` network links (0 hops = local).
+  Nanoseconds transfer_time(std::uint64_t bytes, std::uint32_t hops) const;
+
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  NetworkParams params_;
+};
+
+}  // namespace mlsc::io

@@ -1,0 +1,53 @@
+// PVFS-style file striping: the data space's byte stream is striped round
+// robin across the storage nodes ("Data Striping: uses all 16 storage
+// nodes, Stripe Size 64KB" — Table 1).  The layout decides which storage
+// node's disk services a chunk miss.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace mlsc::io {
+
+class StripingLayout {
+ public:
+  StripingLayout(std::uint64_t stripe_size_bytes,
+                 std::uint64_t chunk_size_bytes, std::size_t storage_nodes)
+      : stripe_size_(stripe_size_bytes),
+        chunk_size_(chunk_size_bytes),
+        storage_nodes_(storage_nodes) {
+    MLSC_CHECK(stripe_size_ > 0, "stripe size must be positive");
+    MLSC_CHECK(chunk_size_ > 0, "chunk size must be positive");
+    MLSC_CHECK(storage_nodes_ > 0, "need at least one storage node");
+  }
+
+  std::uint64_t stripe_size_bytes() const { return stripe_size_; }
+  std::size_t num_storage_nodes() const { return storage_nodes_; }
+
+  /// Index (0-based) of the storage node holding a given chunk.
+  std::size_t storage_node_of_chunk(std::uint64_t chunk_id) const {
+    const std::uint64_t byte_offset = chunk_id * chunk_size_;
+    return static_cast<std::size_t>((byte_offset / stripe_size_) %
+                                    storage_nodes_);
+  }
+
+  /// True when two chunks are adjacent within the same stripe — their
+  /// disk requests are sequential on the same spindle.
+  bool sequential_on_disk(std::uint64_t chunk_a, std::uint64_t chunk_b) const {
+    if (storage_node_of_chunk(chunk_a) != storage_node_of_chunk(chunk_b)) {
+      return false;
+    }
+    const std::uint64_t lo = chunk_a < chunk_b ? chunk_a : chunk_b;
+    const std::uint64_t hi = chunk_a < chunk_b ? chunk_b : chunk_a;
+    return hi - lo <= 1 || (hi * chunk_size_) / stripe_size_ ==
+                               (lo * chunk_size_) / stripe_size_;
+  }
+
+ private:
+  std::uint64_t stripe_size_;
+  std::uint64_t chunk_size_;
+  std::size_t storage_nodes_;
+};
+
+}  // namespace mlsc::io

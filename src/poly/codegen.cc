@@ -1,0 +1,141 @@
+#include "poly/codegen.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mlsc::poly {
+namespace {
+
+/// Row-major strides: stride[k] = product of extents of loops k+1..n-1.
+std::vector<std::uint64_t> strides_of(const IterationSpace& space) {
+  const std::size_t depth = space.depth();
+  std::vector<std::uint64_t> strides(depth, 1);
+  for (std::size_t k = depth - 1; k-- > 0;) {
+    strides[k] =
+        strides[k + 1] * static_cast<std::uint64_t>(space.loop(k + 1).extent());
+  }
+  return strides;
+}
+
+void append_boxes_for_range(const IterationSpace& space,
+                            const std::vector<std::uint64_t>& strides,
+                            LinearRange range, std::vector<Box>& out) {
+  const std::size_t depth = space.depth();
+  std::uint64_t pos = range.begin;
+  while (pos < range.end) {
+    // Deepest level k whose stride divides pos and fits in the remainder;
+    // searching from the outermost (largest stride) gives maximal boxes.
+    std::size_t level = depth - 1;
+    for (std::size_t k = 0; k < depth; ++k) {
+      if (pos % strides[k] == 0 && pos + strides[k] <= range.end) {
+        level = k;
+        break;
+      }
+    }
+    const Iteration at = space.delinearize(pos);
+    // Number of whole level-sized blocks we can take without wrapping the
+    // level coordinate past its extent.
+    const std::uint64_t want = (range.end - pos) / strides[level];
+    const auto coord =
+        static_cast<std::uint64_t>(at[level] - space.loop(level).lower);
+    const auto room =
+        static_cast<std::uint64_t>(space.loop(level).extent()) - coord;
+    const std::uint64_t take = std::max<std::uint64_t>(
+        1, std::min(want, room));
+
+    Box box(depth);
+    for (std::size_t k = 0; k < depth; ++k) {
+      if (k < level) {
+        box[k] = LoopBounds{at[k], at[k]};
+      } else if (k == level) {
+        box[k] = LoopBounds{at[k],
+                            at[k] + static_cast<std::int64_t>(take) - 1};
+      } else {
+        box[k] = space.loop(k);
+      }
+    }
+    out.push_back(std::move(box));
+    pos += take * strides[level];
+  }
+}
+
+std::uint64_t box_size(const Box& box) {
+  std::uint64_t n = 1;
+  for (const auto& b : box) n *= static_cast<std::uint64_t>(b.extent());
+  return n;
+}
+
+}  // namespace
+
+std::vector<Box> ranges_to_boxes(const IterationSpace& space,
+                                 std::vector<LinearRange> ranges) {
+  MLSC_CHECK(space.depth() > 0, "codegen needs a non-empty space");
+  ranges = normalize_ranges(std::move(ranges));
+  const auto strides = strides_of(space);
+  std::vector<Box> boxes;
+  for (const auto& range : ranges) {
+    MLSC_CHECK(range.end <= space.size(),
+               "range end " << range.end << " beyond space size "
+                            << space.size());
+    append_boxes_for_range(space, strides, range, boxes);
+  }
+  return boxes;
+}
+
+std::uint64_t boxes_size(const std::vector<Box>& boxes) {
+  std::uint64_t total = 0;
+  for (const auto& b : boxes) total += box_size(b);
+  return total;
+}
+
+std::string emit_range_loops(const IterationSpace& space,
+                             const std::vector<LinearRange>& ranges,
+                             const std::string& body) {
+  const auto boxes = ranges_to_boxes(space, ranges);
+  std::ostringstream out;
+  for (const auto& box : boxes) {
+    std::string indent;
+    for (std::size_t k = 0; k < box.size(); ++k) {
+      if (box[k].lower == box[k].upper) {
+        out << indent << "{ const long i" << k << " = " << box[k].lower
+            << ";\n";
+      } else {
+        out << indent << "for (long i" << k << " = " << box[k].lower
+            << "; i" << k << " <= " << box[k].upper << "; ++i" << k
+            << ") {\n";
+      }
+      indent += "  ";
+    }
+    out << indent << body << "\n";
+    for (std::size_t k = box.size(); k-- > 0;) {
+      indent.resize(indent.size() - 2);
+      out << indent << "}\n";
+    }
+  }
+  return out.str();
+}
+
+std::string emit_nest_source(const Program& program, const LoopNest& nest) {
+  std::ostringstream out;
+  out << "// nest " << nest.name << "\n";
+  std::string indent;
+  for (std::size_t k = 0; k < nest.depth(); ++k) {
+    const auto& b = nest.space.loop(k);
+    out << indent << "for (long i" << k << " = " << b.lower << "; i" << k
+        << " <= " << b.upper << "; ++i" << k << ") {\n";
+    indent += "  ";
+  }
+  for (const auto& ref : nest.refs) {
+    out << indent << (ref.is_write ? "write " : "read  ")
+        << program.array(ref.array).name << ref.map.to_string() << ";\n";
+  }
+  for (std::size_t k = nest.depth(); k-- > 0;) {
+    indent.resize(indent.size() - 2);
+    out << indent << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace mlsc::poly

@@ -1,0 +1,40 @@
+// Code generation: turning iteration-rank ranges back into loop nests.
+//
+// The paper uses the Omega library's codegen(.) to emit loops that
+// enumerate the iterations of each iteration chunk assigned to a client
+// (§4.2).  Here a union of lexicographic rank ranges is decomposed into
+// maximal boxes (hyper-rectangles), each of which prints as a perfect
+// loop nest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poly/iteration_space.h"
+#include "poly/loop_nest.h"
+
+namespace mlsc::poly {
+
+/// A hyper-rectangular sub-space: inclusive bounds per loop.
+using Box = std::vector<LoopBounds>;
+
+/// Decomposes a set of lexicographic rank ranges into disjoint boxes
+/// covering exactly the same iterations.  Ranges are normalized first.
+/// Each range yields at most 2*depth+1 boxes.
+std::vector<Box> ranges_to_boxes(const IterationSpace& space,
+                                 std::vector<LinearRange> ranges);
+
+/// Total number of iterations covered by a box list.
+std::uint64_t boxes_size(const std::vector<Box>& boxes);
+
+/// Emits C-like source that enumerates the given ranges as loop nests,
+/// one per box, invoking `body` (e.g. "visit(i0, i1);") innermost.
+std::string emit_range_loops(const IterationSpace& space,
+                             const std::vector<LinearRange>& ranges,
+                             const std::string& body);
+
+/// Pretty-prints a whole loop nest (bounds plus references) as C-like
+/// source, for diagnostics and examples.
+std::string emit_nest_source(const Program& program, const LoopNest& nest);
+
+}  // namespace mlsc::poly

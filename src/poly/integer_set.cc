@@ -1,0 +1,372 @@
+#include "poly/integer_set.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mlsc::poly {
+namespace {
+
+/// Internal constraint form with wide coefficients: sum(c_k x_k) + c0 >= 0.
+/// Fourier-Motzkin combinations multiply coefficients, so they are kept
+/// as 128-bit and renormalized by their gcd after every combination.
+struct Row {
+  std::vector<__int128> coeffs;
+  __int128 constant = 0;
+};
+
+__int128 abs128(__int128 v) { return v < 0 ? -v : v; }
+
+__int128 gcd128(__int128 a, __int128 b) {
+  a = abs128(a);
+  b = abs128(b);
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+void normalize(Row& row) {
+  __int128 g = abs128(row.constant);
+  for (const __int128 c : row.coeffs) g = gcd128(g, c);
+  if (g > 1) {
+    for (auto& c : row.coeffs) c /= g;
+    row.constant /= g;
+  }
+}
+
+Row row_from_expr(const AffineExpr& expr) {
+  Row row;
+  row.coeffs.reserve(expr.depth());
+  for (std::size_t k = 0; k < expr.depth(); ++k) {
+    row.coeffs.push_back(expr.coeff(k));
+  }
+  row.constant = expr.constant_term();
+  return row;
+}
+
+/// All constraints of a set, including the space's box bounds.
+std::vector<Row> all_rows(const IterationSpace& space,
+                          const std::vector<AffineExpr>& constraints) {
+  std::vector<Row> rows;
+  const std::size_t depth = space.depth();
+  for (std::size_t k = 0; k < depth; ++k) {
+    Row lower;  // x_k - L >= 0
+    lower.coeffs.assign(depth, 0);
+    lower.coeffs[k] = 1;
+    lower.constant = -space.loop(k).lower;
+    rows.push_back(std::move(lower));
+    Row upper;  // U - x_k >= 0
+    upper.coeffs.assign(depth, 0);
+    upper.coeffs[k] = -1;
+    upper.constant = space.loop(k).upper;
+    rows.push_back(std::move(upper));
+  }
+  for (const auto& c : constraints) rows.push_back(row_from_expr(c));
+  return rows;
+}
+
+constexpr std::size_t kMaxRows = 20000;
+
+/// Eliminates variable `var` from `rows` (Fourier-Motzkin step).
+std::vector<Row> eliminate(const std::vector<Row>& rows, std::size_t var) {
+  std::vector<const Row*> pos;
+  std::vector<const Row*> neg;
+  std::vector<Row> out;
+  for (const auto& row : rows) {
+    if (row.coeffs[var] > 0) {
+      pos.push_back(&row);
+    } else if (row.coeffs[var] < 0) {
+      neg.push_back(&row);
+    } else {
+      out.push_back(row);
+    }
+  }
+  for (const Row* p : pos) {
+    for (const Row* n : neg) {
+      // p: a x + rest_p >= 0 (a>0);  n: -b x + rest_n >= 0 (b>0)
+      // combine: b*rest_p + a*rest_n >= 0
+      const __int128 a = p->coeffs[var];
+      const __int128 b = -n->coeffs[var];
+      Row combined;
+      combined.coeffs.resize(p->coeffs.size());
+      for (std::size_t k = 0; k < combined.coeffs.size(); ++k) {
+        combined.coeffs[k] = b * p->coeffs[k] + a * n->coeffs[k];
+      }
+      combined.constant = b * p->constant + a * n->constant;
+      normalize(combined);
+      out.push_back(std::move(combined));
+      MLSC_CHECK(out.size() <= kMaxRows,
+                 "Fourier-Motzkin elimination exceeded " << kMaxRows
+                                                         << " constraints");
+    }
+  }
+  // Drop duplicate rows (FM produces many).
+  std::sort(out.begin(), out.end(), [](const Row& x, const Row& y) {
+    if (x.constant != y.constant) return x.constant < y.constant;
+    return x.coeffs < y.coeffs;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Row& x, const Row& y) {
+                          return x.constant == y.constant &&
+                                 x.coeffs == y.coeffs;
+                        }),
+            out.end());
+  return out;
+}
+
+/// True when the variable-free rows admit a solution (constants >= 0).
+bool constants_feasible(const std::vector<Row>& rows) {
+  for (const auto& row : rows) {
+    bool has_var = false;
+    for (const __int128 c : row.coeffs) has_var |= (c != 0);
+    if (!has_var && row.constant < 0) return false;
+  }
+  return true;
+}
+
+/// Integer bounds on variable `var` implied by rows in which every other
+/// variable is already substituted/eliminated.  Returns false when the
+/// interval is empty.
+bool var_interval(const std::vector<Row>& rows, std::size_t var,
+                  std::int64_t& lo, std::int64_t& hi) {
+  __int128 lo128 = std::numeric_limits<std::int64_t>::min();
+  __int128 hi128 = std::numeric_limits<std::int64_t>::max();
+  for (const auto& row : rows) {
+    const __int128 a = row.coeffs[var];
+    if (a == 0) {
+      if (row.constant < 0) return false;
+      continue;
+    }
+    if (a > 0) {
+      // a x + c >= 0  ->  x >= ceil(-c / a)
+      const __int128 num = -row.constant;
+      __int128 bound = num / a;
+      if (num > 0 && num % a != 0) bound += 1;
+      lo128 = std::max(lo128, bound);
+    } else {
+      // a x + c >= 0, a < 0  ->  x <= floor(c / -a)
+      const __int128 b = -a;
+      __int128 bound = row.constant / b;
+      if (row.constant < 0 && row.constant % b != 0) bound -= 1;
+      hi128 = std::min(hi128, bound);
+    }
+  }
+  if (lo128 > hi128) return false;
+  lo = static_cast<std::int64_t>(lo128);
+  hi = static_cast<std::int64_t>(hi128);
+  return true;
+}
+
+/// Substitutes x_var = value into the rows.
+std::vector<Row> substitute(const std::vector<Row>& rows, std::size_t var,
+                            std::int64_t value) {
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    Row r = row;
+    r.constant += r.coeffs[var] * value;
+    r.coeffs[var] = 0;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Backtracking integer witness search over the FM projections.
+/// projections[k] holds constraints over variables 0..k-1 only, with the
+/// already-chosen variables substituted in; level var's candidate range
+/// comes from projections[var + 1], whose only live variable is x_var.
+bool find_integer_point(std::vector<std::vector<Row>> projections,
+                        std::size_t var, std::size_t depth,
+                        std::size_t& budget) {
+  if (var == depth) return constants_feasible(projections[depth]);
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+  if (!var_interval(projections[var + 1], var, lo, hi)) return false;
+  for (std::int64_t v = lo; v <= hi; ++v) {
+    MLSC_CHECK(budget-- != 0, "integer witness search budget exhausted");
+    auto next = projections;
+    for (std::size_t k = var + 1; k <= depth; ++k) {
+      next[k] = substitute(next[k], var, v);
+    }
+    // Prune: this choice must keep every projection level feasible.
+    bool feasible = true;
+    for (std::size_t k = var + 1; k <= depth && feasible; ++k) {
+      feasible = constants_feasible(next[k]);
+    }
+    if (!feasible) continue;
+    if (find_integer_point(std::move(next), var + 1, depth, budget)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+IntegerSet::IntegerSet(IterationSpace space) : space_(std::move(space)) {}
+
+IntegerSet& IntegerSet::add_constraint(AffineExpr expr) {
+  MLSC_CHECK(expr.depth() == space_.depth(),
+             "constraint depth " << expr.depth() << " != space depth "
+                                 << space_.depth());
+  constraints_.push_back(std::move(expr));
+  return *this;
+}
+
+IntegerSet& IntegerSet::add_bounds(const AffineExpr& expr, std::int64_t lower,
+                                   std::int64_t upper) {
+  // expr - lower >= 0 and upper - expr >= 0.
+  add_constraint(expr - AffineExpr::constant(expr.depth(), lower));
+  add_constraint(AffineExpr::constant(expr.depth(), upper) - expr);
+  return *this;
+}
+
+bool IntegerSet::contains(std::span<const std::int64_t> iter) const {
+  if (!space_.contains(iter)) return false;
+  for (const auto& c : constraints_) {
+    if (c.evaluate(iter) < 0) return false;
+  }
+  return true;
+}
+
+IntegerSet IntegerSet::intersect(const IntegerSet& other) const {
+  MLSC_CHECK(space_ == other.space_,
+             "intersection requires a common iteration space");
+  IntegerSet out = *this;
+  for (const auto& c : other.constraints_) out.add_constraint(c);
+  return out;
+}
+
+bool IntegerSet::is_empty() const {
+  if (space_.empty()) return true;
+  const std::size_t depth = space_.depth();
+  auto rows = all_rows(space_, constraints_);
+
+  // Project away variables from the innermost outward, keeping each
+  // level for the witness search.
+  std::vector<std::vector<Row>> projections(depth + 1);
+  projections[depth] = rows;
+  for (std::size_t k = depth; k-- > 0;) {
+    projections[k] = eliminate(projections[k + 1], k);
+  }
+  if (!constants_feasible(projections[0])) return true;  // exact: empty
+
+  // The rational relaxation is feasible; confirm with an integer point.
+  std::size_t budget = 1 << 20;
+  return !find_integer_point(projections, 0, depth, budget);
+}
+
+std::vector<Iteration> IntegerSet::enumerate() const {
+  std::vector<Iteration> out;
+  const auto box = bounding_box();
+  if (!box.has_value()) return out;
+  IterationSpace narrowed(*box);
+  if (narrowed.empty()) return out;
+  Iteration iter = narrowed.first();
+  do {
+    if (contains(iter)) out.push_back(iter);
+  } while (narrowed.advance(iter));
+  return out;
+}
+
+std::uint64_t IntegerSet::cardinality() const {
+  std::uint64_t count = 0;
+  const auto box = bounding_box();
+  if (!box.has_value()) return 0;
+  IterationSpace narrowed(*box);
+  if (narrowed.empty()) return 0;
+  Iteration iter = narrowed.first();
+  do {
+    if (contains(iter)) ++count;
+  } while (narrowed.advance(iter));
+  return count;
+}
+
+std::optional<std::vector<LoopBounds>> IntegerSet::bounding_box() const {
+  const std::size_t depth = space_.depth();
+  auto rows = all_rows(space_, constraints_);
+  std::vector<LoopBounds> box(depth);
+  for (std::size_t target = 0; target < depth; ++target) {
+    // Eliminate every variable except `target`.
+    auto projected = rows;
+    for (std::size_t k = 0; k < depth; ++k) {
+      if (k != target) projected = eliminate(projected, k);
+    }
+    if (!constants_feasible(projected)) return std::nullopt;
+    std::int64_t lo = 0;
+    std::int64_t hi = -1;
+    if (!var_interval(projected, target, lo, hi)) return std::nullopt;
+    box[target] = LoopBounds{std::max(lo, space_.loop(target).lower),
+                             std::min(hi, space_.loop(target).upper)};
+    if (box[target].extent() <= 0) return std::nullopt;
+  }
+  return box;
+}
+
+std::string IntegerSet::to_string() const {
+  std::ostringstream out;
+  out << space_.to_string();
+  for (const auto& c : constraints_) {
+    out << " && " << c.to_string() << " >= 0";
+  }
+  return out.str();
+}
+
+AffineExpr byte_offset_expr(const Program& program, const ArrayRef& ref) {
+  MLSC_CHECK(!ref.is_indirect(),
+             "byte offsets of indirect references are not affine");
+  const ArrayDecl& array = program.array(ref.array);
+  const std::size_t rank = ref.map.rank();
+  MLSC_CHECK(rank == array.dims.size(),
+             "reference rank does not match array rank");
+  // Row-major strides in elements.
+  std::vector<std::int64_t> strides(rank, 1);
+  for (std::size_t d = rank - 1; d-- > 0;) {
+    strides[d] = strides[d + 1] * array.dims[d + 1];
+  }
+  AffineExpr offset = AffineExpr::constant(ref.map.depth(), 0);
+  for (std::size_t d = 0; d < rank; ++d) {
+    // offset += expr_d * stride_d (scale the expression's coefficients).
+    const AffineExpr& e = ref.map.expr(d);
+    std::vector<std::int64_t> coeffs(e.depth());
+    for (std::size_t k = 0; k < e.depth(); ++k) {
+      coeffs[k] = e.coeff(k) * strides[d];
+    }
+    offset = offset + AffineExpr(std::move(coeffs),
+                                 e.constant_term() * strides[d]);
+  }
+  // Scale elements to bytes.
+  std::vector<std::int64_t> coeffs(offset.depth());
+  for (std::size_t k = 0; k < offset.depth(); ++k) {
+    coeffs[k] = offset.coeff(k) *
+                static_cast<std::int64_t>(array.element_size_bytes);
+  }
+  return AffineExpr(std::move(coeffs),
+                    offset.constant_term() *
+                        static_cast<std::int64_t>(array.element_size_bytes));
+}
+
+IntegerSet chunk_preimage(const Program& program, const LoopNest& nest,
+                          const ArrayRef& ref, std::uint64_t chunk_size_bytes,
+                          std::uint64_t array_first_byte_of_chunk,
+                          std::uint64_t array_last_byte_of_chunk) {
+  MLSC_CHECK(chunk_size_bytes > 0, "chunk size must be positive");
+  IntegerSet set(nest.space);
+  const AffineExpr offset = byte_offset_expr(program, ref);
+  const auto esize =
+      static_cast<std::int64_t>(program.array(ref.array).element_size_bytes);
+  // The element's byte range [off, off + esize) intersects the chunk's
+  // [first, last] iff off <= last and off >= first - esize + 1.
+  set.add_bounds(offset,
+                 static_cast<std::int64_t>(array_first_byte_of_chunk) -
+                     esize + 1,
+                 static_cast<std::int64_t>(array_last_byte_of_chunk));
+  return set;
+}
+
+}  // namespace mlsc::poly

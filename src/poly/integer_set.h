@@ -1,0 +1,89 @@
+// Constraint-based integer sets — the Omega-style polyhedral sets of the
+// paper's §4.1 (G, H and the reference relation L) and §4.2 (the γΛ
+// iteration-chunk expression).
+//
+// A set is a conjunction of affine inequalities  expr(i) >= 0  over the
+// iterators of an n-deep nest, intersected with the nest's rectangular
+// bounds.  The operations the mapping machinery needs are implemented
+// exactly:
+//   - membership, intersection, bounding box,
+//   - emptiness via Fourier-Motzkin elimination (exact for the rational
+//     relaxation; a final integer witness search over the eliminated box
+//     makes the answer exact for the bounded sets used here),
+//   - enumeration of members in lexicographic order,
+//   - the preimage of a data chunk under an affine reference — the
+//     building block of the paper's γΛ formula.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/iteration_space.h"
+#include "poly/loop_nest.h"
+
+namespace mlsc::poly {
+
+/// A conjunction of affine constraints `expr >= 0` over an iteration
+/// space's iterators (the space's bounds are implicit constraints).
+class IntegerSet {
+ public:
+  /// The universe set: all iterations of `space`.
+  explicit IntegerSet(IterationSpace space);
+
+  const IterationSpace& space() const { return space_; }
+  const std::vector<AffineExpr>& constraints() const { return constraints_; }
+
+  /// Adds the constraint `expr >= 0`; returns *this for chaining.
+  IntegerSet& add_constraint(AffineExpr expr);
+
+  /// Adds `lower <= expr <= upper`.
+  IntegerSet& add_bounds(const AffineExpr& expr, std::int64_t lower,
+                         std::int64_t upper);
+
+  /// True when the point satisfies the space bounds and every constraint.
+  bool contains(std::span<const std::int64_t> iter) const;
+
+  /// Intersection; both sets must share the same iteration space.
+  IntegerSet intersect(const IntegerSet& other) const;
+
+  /// True when no integer point satisfies the constraints.  Decided by
+  /// Fourier-Motzkin elimination; exact for these bounded sets.
+  bool is_empty() const;
+
+  /// The lexicographically enumerated members (intended for tests and
+  /// codegen of small sets; cost is O(|space|) in the worst case).
+  std::vector<Iteration> enumerate() const;
+
+  /// Number of integer points (same cost caveat as enumerate()).
+  std::uint64_t cardinality() const;
+
+  /// Per-iterator bounds implied by the constraints (the rational
+  /// bounding box intersected with the space, rounded inward).  nullopt
+  /// when the set is empty.
+  std::optional<std::vector<LoopBounds>> bounding_box() const;
+
+  std::string to_string() const;
+
+ private:
+  IterationSpace space_;
+  std::vector<AffineExpr> constraints_;
+};
+
+/// The set of iterations of `nest` whose reference `ref` touches any
+/// byte of global data chunk `chunk` (paper §4.2: the per-chunk memberhip
+/// test underlying γΛ).  Only direct (affine) references are supported;
+/// the row-major flattening of an affine index vector is itself affine,
+/// so the preimage is exact.  `chunk_size` and `first_chunk` describe the
+/// array's chunking (from core::DataSpace).
+IntegerSet chunk_preimage(const Program& program, const LoopNest& nest,
+                          const ArrayRef& ref, std::uint64_t chunk_size_bytes,
+                          std::uint64_t array_first_byte_of_chunk,
+                          std::uint64_t array_last_byte_of_chunk);
+
+/// Convenience: the flat byte-offset expression of a direct reference —
+/// element_size * sum(index_d * stride_d), an affine form over iterators.
+AffineExpr byte_offset_expr(const Program& program, const ArrayRef& ref);
+
+}  // namespace mlsc::poly

@@ -1,0 +1,273 @@
+#include "sim/engine.h"
+
+#include <cstdio>
+#include <queue>
+#include <vector>
+
+#include "io/striping.h"
+#include "support/check.h"
+
+namespace mlsc::sim {
+namespace {
+
+/// Per-client replay cursor.
+struct ClientState {
+  Nanoseconds clock = 0;
+  std::size_t item = 0;       // index into trace items / work items
+  std::uint64_t iter = 0;     // iterations completed within the item
+  std::size_t access = 0;     // cursor into the access stream
+  std::uint64_t iter_global = 0;  // cursor into accesses_per_iteration
+  Nanoseconds io_time = 0;
+  Nanoseconds compute_time = 0;
+  Nanoseconds sync_wait = 0;
+  bool done = false;
+};
+
+struct HeapEntry {
+  Nanoseconds clock;
+  std::size_t client;
+  bool operator>(const HeapEntry& other) const {
+    if (clock != other.clock) return clock > other.clock;
+    return client > other.client;
+  }
+};
+
+}  // namespace
+
+EngineResult run_engine(const Trace& trace,
+                        const core::MappingResult& mapping,
+                        const MachineConfig& config,
+                        const topology::HierarchyTree& tree) {
+  const std::size_t num_clients = trace.clients.size();
+  MLSC_CHECK(num_clients == tree.num_clients(),
+             "trace client count does not match the tree");
+
+  cache::MultiLevelCache caches(tree, config.chunk_size_bytes, config.policy,
+                                config.placement);
+  caches.set_write_back(config.write_back);
+  caches.set_cooperative(config.cooperative_caching);
+  const io::DiskModel disk(config.disk);
+  const io::NetworkModel network(config.network);
+  const io::StripingLayout striping(config.stripe_size_bytes,
+                                    config.chunk_size_bytes,
+                                    config.storage_nodes);
+
+  const std::uint32_t client_level = tree.num_levels() - 1;
+  // Level of the storage layer (disk hops target).
+  std::uint32_t storage_level = 0;
+  for (topology::NodeId id = 0; id < tree.num_nodes(); ++id) {
+    if (tree.node(id).kind == topology::NodeKind::kStorage) {
+      storage_level = tree.node(id).level;
+      break;
+    }
+  }
+  const std::uint32_t disk_hops = client_level - storage_level;
+
+  // Cross-client sync: for each (client, item), the producers it waits on.
+  std::vector<std::vector<std::vector<core::SyncEdge>>> waits(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    waits[c].resize(trace.clients[c].items.size());
+  }
+  for (const auto& edge : mapping.sync_edges) {
+    MLSC_CHECK(edge.consumer_client < num_clients &&
+                   edge.consumer_item < waits[edge.consumer_client].size(),
+               "sync edge addresses a missing item");
+    waits[edge.consumer_client][edge.consumer_item].push_back(edge);
+  }
+  std::vector<std::vector<Nanoseconds>> item_finish(num_clients);
+  std::vector<std::vector<bool>> item_done(num_clients);
+  // Clients blocked on an unfinished producer item register here and are
+  // woken when it completes (no polling).
+  std::vector<std::vector<std::vector<std::size_t>>> waiters(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    item_finish[c].assign(trace.clients[c].items.size(), 0);
+    item_done[c].assign(trace.clients[c].items.size(), false);
+    waiters[c].resize(trace.clients[c].items.size());
+  }
+
+  std::vector<ClientState> state(num_clients);
+  std::vector<Nanoseconds> disk_busy(config.storage_nodes, 0);
+  std::vector<core::ChunkId> disk_last_chunk(config.storage_nodes,
+                                             UINT32_MAX);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>> heap;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    if (trace.clients[c].items.empty()) {
+      state[c].done = true;
+    } else {
+      heap.push(HeapEntry{0, c});
+    }
+  }
+
+  EngineResult result;
+
+  // Marks an item finished and wakes clients blocked on it.
+  auto complete_item = [&](std::size_t c, std::size_t item,
+                           Nanoseconds when) {
+    item_finish[c][item] = when;
+    item_done[c][item] = true;
+    for (std::size_t waiter : waiters[c][item]) {
+      ClientState& w = state[waiter];
+      if (when > w.clock) {
+        w.sync_wait += when - w.clock;
+        w.clock = when;
+      }
+      heap.push(HeapEntry{w.clock, waiter});
+    }
+    waiters[c][item].clear();
+  };
+
+  while (!heap.empty()) {
+    const auto [clock_snapshot, c] = heap.top();
+    heap.pop();
+    ClientState& s = state[c];
+    if (s.done) continue;
+    const ClientTrace& ct = trace.clients[c];
+
+    // Skip exhausted items (possible when an item has zero iterations).
+    while (s.item < ct.items.size() &&
+           s.iter >= ct.items[s.item].iterations) {
+      complete_item(c, s.item, s.clock);
+      ++s.item;
+      s.iter = 0;
+    }
+    if (s.item >= ct.items.size()) {
+      s.done = true;
+      continue;
+    }
+
+    // Item start: honor sync edges.  An unfinished producer parks this
+    // client on its waiter list; complete_item() re-queues it.
+    if (s.iter == 0 && !waits[c][s.item].empty()) {
+      bool blocked = false;
+      Nanoseconds ready = s.clock;
+      for (const auto& edge : waits[c][s.item]) {
+        if (item_done[edge.producer_client][edge.producer_item]) {
+          ready = std::max(
+              ready, item_finish[edge.producer_client][edge.producer_item]);
+        } else {
+          waiters[edge.producer_client][edge.producer_item].push_back(c);
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;  // woken by complete_item
+      if (ready > s.clock) {
+        s.sync_wait += ready - s.clock;
+        s.clock = ready;
+      }
+    }
+
+    // Execute one iteration: compute, then its accesses.
+    const TraceItem& item = ct.items[s.item];
+    s.clock += item.compute_ns_per_iteration;
+    s.compute_time += item.compute_ns_per_iteration;
+
+    const std::uint8_t count = ct.accesses_per_iteration[s.iter_global];
+    const topology::NodeId client_node = tree.clients()[c];
+
+    // Charges an asynchronous disk operation (write-back flush or
+    // prefetch): it occupies the spindle but does not stall the client.
+    auto charge_disk_async = [&](core::ChunkId chunk,
+                                 io::SeekClass seek) {
+      const std::size_t sn = striping.storage_node_of_chunk(chunk);
+      disk_busy[sn] = std::max(disk_busy[sn], s.clock) +
+                      disk.service_time(config.chunk_size_bytes, seek);
+      disk_last_chunk[sn] = chunk;
+    };
+
+    for (std::uint8_t a = 0; a < count; ++a) {
+      const Access& access = ct.accesses[s.access++];
+      const auto hit =
+          caches.access(client_node, access.chunk, access.is_write);
+      for (std::uint32_t w = 0; w < hit.writebacks_to_disk; ++w) {
+        charge_disk_async(access.chunk, io::SeekClass::kNear);
+        ++result.disk_writebacks;
+      }
+      Nanoseconds latency = 0;
+      if (hit.peer_hit) {
+        // Cooperative hit in a sibling's cache: two hops via the parent.
+        latency = network.transfer_time(config.chunk_size_bytes, 2);
+        result.time_peer_cache += latency;
+        ++result.peer_hits;
+      } else if (!hit.from_disk()) {
+        const std::uint32_t hops =
+            client_level - tree.node(hit.hit_node).level;
+        latency = network.transfer_time(config.chunk_size_bytes, hops);
+        if (hit.hit_node == client_node) {
+          result.time_client_cache += latency;
+        } else {
+          result.time_shared_cache += latency;
+        }
+      } else {
+        const std::size_t sn = striping.storage_node_of_chunk(access.chunk);
+        const io::SeekClass seek =
+            disk_last_chunk[sn] == UINT32_MAX
+                ? io::SeekClass::kFar
+                : disk.classify_seek(disk_last_chunk[sn], access.chunk);
+        const Nanoseconds service =
+            disk.service_time(config.chunk_size_bytes, seek);
+        const Nanoseconds queue_delay =
+            disk_busy[sn] > s.clock ? disk_busy[sn] - s.clock : 0;
+        disk_busy[sn] = std::max(disk_busy[sn], s.clock) + service;
+        disk_last_chunk[sn] = access.chunk;
+        latency = network.transfer_time(config.chunk_size_bytes, disk_hops) +
+                  queue_delay + service;
+        result.time_disk += latency;
+        result.time_disk_queue += queue_delay;
+        ++result.disk_requests;
+
+        // Sequential readahead: pull the next chunks into the client's
+        // path asynchronously.
+        for (std::uint32_t r = 1; r <= config.readahead_chunks; ++r) {
+          const std::uint64_t next =
+              static_cast<std::uint64_t>(access.chunk) + r;
+          if (next >= trace.num_data_chunks) break;
+          const auto next_chunk = static_cast<core::ChunkId>(next);
+          if (caches.resident_on_path(client_node, next_chunk)) continue;
+          const std::uint32_t flushes =
+              caches.install(client_node, next_chunk);
+          for (std::uint32_t w = 0; w < flushes; ++w) {
+            charge_disk_async(next_chunk, io::SeekClass::kNear);
+            ++result.disk_writebacks;
+          }
+          charge_disk_async(next_chunk, io::SeekClass::kSequential);
+          ++result.prefetches;
+        }
+      }
+      s.clock += latency;
+      s.io_time += latency;
+      ++result.accesses;
+    }
+
+    ++s.iter;
+    ++s.iter_global;
+    if (s.iter >= item.iterations) {
+      complete_item(c, s.item, s.clock);
+      ++s.item;
+      s.iter = 0;
+    }
+    if (s.item >= ct.items.size()) {
+      s.done = true;
+    } else {
+      heap.push(HeapEntry{s.clock, c});
+    }
+  }
+
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    MLSC_CHECK(state[c].done,
+               "client " << c << " never finished — sync edges form a cycle");
+    result.exec_time = std::max(result.exec_time, state[c].clock);
+    result.io_time_total += state[c].io_time;
+    result.io_time_max = std::max(result.io_time_max, state[c].io_time);
+    result.compute_time_total += state[c].compute_time;
+    result.sync_wait_total += state[c].sync_wait;
+  }
+  result.l1 = caches.aggregate_stats(topology::NodeKind::kCompute);
+  result.l2 = caches.aggregate_stats(topology::NodeKind::kIo);
+  result.l3 = caches.aggregate_stats(topology::NodeKind::kStorage);
+  return result;
+}
+
+}  // namespace mlsc::sim

@@ -1,0 +1,60 @@
+#include "sim/experiment.h"
+
+#include <ostream>
+
+#include "support/check.h"
+
+namespace mlsc::sim {
+
+std::string SchemeSpec::name() const {
+  std::string base = core::mapper_kind_name(mapper);
+  if (schedule) base += "+sched";
+  return base;
+}
+
+void ExperimentResult::report(std::ostream& out) const {
+  out << workload << " / " << scheme << ": miss rates L1 "
+      << l1_miss_rate * 100 << "% L2 " << l2_miss_rate * 100 << "% L3 "
+      << l3_miss_rate * 100 << "%, I/O latency " << format_time(io_latency)
+      << ", execution time " << format_time(exec_time) << "\n";
+}
+
+ExperimentResult run_experiment(const workloads::Workload& workload,
+                                const SchemeSpec& scheme,
+                                const MachineConfig& config) {
+  const auto tree = config.build_tree();
+  const core::DataSpace space(workload.program, config.chunk_size_bytes);
+
+  core::PipelineOptions options;
+  options.mapper = scheme.mapper;
+  options.balance_threshold = scheme.balance_threshold;
+  options.schedule = scheme.schedule;
+  options.scheduler = scheme.scheduler;
+  options.tagging = scheme.tagging;
+  options.dependences = scheme.dependences;
+  options.intra.client_cache_bytes = config.client_cache_bytes;
+
+  core::MappingPipeline pipeline(tree, options);
+  const auto mapping = pipeline.run_all(workload.program, space);
+  const auto trace = generate_trace(workload.program, space, mapping);
+  const auto engine = run_engine(trace, mapping, config, tree);
+
+  ExperimentResult result;
+  result.workload = workload.name;
+  result.scheme = scheme.name();
+  result.l1_miss_rate = engine.l1.miss_rate();
+  result.l2_miss_rate = engine.l2.miss_rate();
+  result.l3_miss_rate = engine.l3.miss_rate();
+  result.io_latency = engine.io_time_mean(tree.num_clients());
+  result.exec_time = engine.exec_time;
+  result.engine = engine;
+  result.sync_edges = mapping.sync_edges.size();
+  return result;
+}
+
+double normalized(double value, double original) {
+  if (original == 0.0) return 0.0;
+  return value / original;
+}
+
+}  // namespace mlsc::sim

@@ -1,0 +1,82 @@
+// End-to-end experiment runner: workload + scheme + machine -> metrics.
+//
+// This is what every benchmark binary calls: it builds the hierarchy
+// tree and data space, runs the mapping pipeline for the requested
+// scheme, expands the trace, replays it on the engine, and packages the
+// three result families the paper reports (miss rates per cache level,
+// I/O latency, total execution time).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.h"
+#include "sim/engine.h"
+#include "sim/machine.h"
+#include "workloads/workload.h"
+
+namespace mlsc::sim {
+
+/// Which of the paper's three versions to run (§5.1), plus the Fig. 15
+/// scheduling switch for the enhanced inter-processor version.
+struct SchemeSpec {
+  core::MapperKind mapper = core::MapperKind::kInterProcessor;
+  bool schedule = false;
+  core::SchedulerOptions scheduler;
+  double balance_threshold = 0.10;
+  core::TaggingOptions tagging;
+  core::DependenceStrategy dependences =
+      core::DependenceStrategy::kSynchronize;
+
+  static SchemeSpec original() {
+    SchemeSpec s;
+    s.mapper = core::MapperKind::kOriginal;
+    return s;
+  }
+  static SchemeSpec intra() {
+    SchemeSpec s;
+    s.mapper = core::MapperKind::kIntraProcessor;
+    return s;
+  }
+  static SchemeSpec inter() {
+    SchemeSpec s;
+    s.mapper = core::MapperKind::kInterProcessor;
+    return s;
+  }
+  static SchemeSpec inter_scheduled(double alpha = 0.5, double beta = 0.5) {
+    SchemeSpec s;
+    s.mapper = core::MapperKind::kInterProcessor;
+    s.schedule = true;
+    s.scheduler = {alpha, beta};
+    return s;
+  }
+
+  std::string name() const;
+};
+
+struct ExperimentResult {
+  std::string workload;
+  std::string scheme;
+
+  double l1_miss_rate = 0.0;
+  double l2_miss_rate = 0.0;
+  double l3_miss_rate = 0.0;
+
+  Nanoseconds io_latency = 0;  // mean per-client I/O time
+  Nanoseconds exec_time = 0;   // parallel completion time
+
+  EngineResult engine;  // full counters for deeper analysis
+  std::size_t sync_edges = 0;  // cross-client constraints in the mapping
+
+  void report(std::ostream& out) const;
+};
+
+/// Runs one (workload, scheme, machine) experiment.
+ExperimentResult run_experiment(const workloads::Workload& workload,
+                                const SchemeSpec& scheme,
+                                const MachineConfig& config);
+
+/// Ratio helpers for the paper's normalized plots (original == 1.0).
+double normalized(double value, double original);
+
+}  // namespace mlsc::sim

@@ -1,0 +1,28 @@
+#include "sim/machine.h"
+
+#include <sstream>
+
+namespace mlsc::sim {
+
+topology::HierarchyTree MachineConfig::build_tree() const {
+  return topology::make_layered_hierarchy(clients, io_nodes, storage_nodes,
+                                          client_cache_bytes, io_cache_bytes,
+                                          storage_cache_bytes);
+}
+
+std::string MachineConfig::to_string() const {
+  std::ostringstream out;
+  out << "(" << clients << "," << io_nodes << "," << storage_nodes
+      << ") caches (" << format_bytes(client_cache_bytes) << ","
+      << format_bytes(io_cache_bytes) << ","
+      << format_bytes(storage_cache_bytes) << ") chunk "
+      << format_bytes(chunk_size_bytes) << " policy "
+      << cache::policy_kind_name(policy) << " placement "
+      << cache::placement_mode_name(placement);
+  if (write_back) out << " write-back";
+  if (cooperative_caching) out << " cooperative";
+  if (readahead_chunks > 0) out << " readahead=" << readahead_chunks;
+  return out.str();
+}
+
+}  // namespace mlsc::sim

@@ -1,0 +1,113 @@
+#include "sim/report.h"
+
+#include <ostream>
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace mlsc::sim {
+namespace {
+
+std::string seconds(Nanoseconds ns) {
+  return format_double(static_cast<double>(ns) / 1e9, 2) + " s";
+}
+
+double share(Nanoseconds part, Nanoseconds whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+}  // namespace
+
+void write_report(std::ostream& out, const ExperimentResult& result,
+                  const MachineConfig& config) {
+  out << "workload: " << result.workload << "\n"
+      << "scheme:   " << result.scheme << "\n"
+      << "machine:  " << config.to_string() << "\n\n";
+
+  Table levels({"level", "accesses", "hits", "misses", "miss %"});
+  const cache::CacheStats* stats[] = {&result.engine.l1, &result.engine.l2,
+                                      &result.engine.l3};
+  const char* names[] = {"L1 (compute)", "L2 (I/O)", "L3 (storage)"};
+  for (int i = 0; i < 3; ++i) {
+    levels.add_row({names[i], std::to_string(stats[i]->accesses),
+                    std::to_string(stats[i]->hits),
+                    std::to_string(stats[i]->misses),
+                    format_double(stats[i]->miss_rate() * 100, 1)});
+  }
+  levels.print(out);
+
+  const auto& e = result.engine;
+  Table where({"I/O stall component", "time", "share %"});
+  where.add_row({"client cache hits", seconds(e.time_client_cache),
+                 format_double(share(e.time_client_cache, e.io_time_total),
+                               1)});
+  where.add_row({"shared cache hits", seconds(e.time_shared_cache),
+                 format_double(share(e.time_shared_cache, e.io_time_total),
+                               1)});
+  if (e.peer_hits > 0) {
+    where.add_row({"peer cache hits", seconds(e.time_peer_cache),
+                   format_double(share(e.time_peer_cache, e.io_time_total),
+                                 1)});
+  }
+  where.add_row({"disk service+queue", seconds(e.time_disk),
+                 format_double(share(e.time_disk, e.io_time_total), 1)});
+  where.add_row({"  of which queueing", seconds(e.time_disk_queue),
+                 format_double(share(e.time_disk_queue, e.io_time_total),
+                               1)});
+  out << "\n";
+  where.print(out);
+
+  out << "\ndisk requests: " << e.disk_requests
+      << ", write-backs: " << e.disk_writebacks
+      << ", prefetches: " << e.prefetches << ", sync edges: "
+      << result.sync_edges << " (wait " << seconds(e.sync_wait_total)
+      << " total)\n"
+      << "I/O latency (mean/client): " << seconds(result.io_latency)
+      << ", execution time: " << seconds(result.exec_time) << "\n";
+}
+
+Table comparison_table(const std::vector<ExperimentResult>& results) {
+  MLSC_CHECK(!results.empty(), "nothing to compare");
+  for (const auto& r : results) {
+    MLSC_CHECK(r.workload == results.front().workload,
+               "comparison requires one workload");
+  }
+  Table table({"scheme", "L1 miss %", "L2 miss %", "L3 miss %", "disk reqs",
+               "I/O latency", "exec time", "I/O (norm)", "exec (norm)"});
+  const auto& base = results.front();
+  for (const auto& r : results) {
+    table.add_row(
+        {r.scheme, format_double(r.l1_miss_rate * 100, 1),
+         format_double(r.l2_miss_rate * 100, 1),
+         format_double(r.l3_miss_rate * 100, 1),
+         std::to_string(r.engine.disk_requests), seconds(r.io_latency),
+         seconds(r.exec_time),
+         format_double(static_cast<double>(r.io_latency) /
+                           static_cast<double>(base.io_latency),
+                       3),
+         format_double(static_cast<double>(r.exec_time) /
+                           static_cast<double>(base.exec_time),
+                       3)});
+  }
+  return table;
+}
+
+void write_comparison_csv(std::ostream& out,
+                          const std::vector<ExperimentResult>& results) {
+  comparison_table(results).print_csv(out);
+}
+
+std::vector<ExperimentResult> run_all_schemes(
+    const workloads::Workload& workload, const MachineConfig& config) {
+  std::vector<ExperimentResult> results;
+  results.push_back(run_experiment(workload, SchemeSpec::original(), config));
+  results.push_back(run_experiment(workload, SchemeSpec::intra(), config));
+  results.push_back(run_experiment(workload, SchemeSpec::inter(), config));
+  results.push_back(
+      run_experiment(workload, SchemeSpec::inter_scheduled(), config));
+  return results;
+}
+
+}  // namespace mlsc::sim

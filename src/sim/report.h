@@ -1,0 +1,35 @@
+// Experiment reporting: render one experiment or a scheme comparison as
+// aligned tables (or CSV) — what the examples and the CLI print, and a
+// convenient API for downstream analysis scripts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "support/table.h"
+
+namespace mlsc::sim {
+
+/// A full single-experiment report: miss rates per level, the I/O stall
+/// breakdown (client cache / shared caches / peers / disk / queueing),
+/// disk traffic, synchronization, and timing.
+void write_report(std::ostream& out, const ExperimentResult& result,
+                  const MachineConfig& config);
+
+/// Side-by-side comparison of several results on one workload, with a
+/// "normalized vs first" column block (the paper's presentation style).
+/// All results must be for the same workload.
+Table comparison_table(const std::vector<ExperimentResult>& results);
+
+/// The comparison as CSV (same cells as comparison_table).
+void write_comparison_csv(std::ostream& out,
+                          const std::vector<ExperimentResult>& results);
+
+/// Runs every scheme of the paper's evaluation on one workload and
+/// returns the results in order: original, intra, inter, inter+sched.
+std::vector<ExperimentResult> run_all_schemes(
+    const workloads::Workload& workload, const MachineConfig& config);
+
+}  // namespace mlsc::sim

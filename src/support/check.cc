@@ -1,0 +1,17 @@
+#include "support/check.h"
+
+#include <sstream>
+
+namespace mlsc::detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::ostringstream out;
+  out << "MLSC_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw Error(out.str());
+}
+
+}  // namespace mlsc::detail

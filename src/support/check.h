@@ -1,0 +1,60 @@
+// Error handling primitives for the mlsc library.
+//
+// The library reports contract violations and invalid user input by
+// throwing mlsc::Error.  MLSC_CHECK is always on; MLSC_DCHECK compiles
+// away in NDEBUG builds and is reserved for internal invariants that are
+// too hot to verify in release mode.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mlsc {
+
+/// Exception type thrown on contract violations and invalid configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+/// Stream-style message builder used by the CHECK macros.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace mlsc
+
+/// Always-on invariant check; throws mlsc::Error on failure.
+#define MLSC_CHECK(cond, ...)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::mlsc::detail::check_failed(                                       \
+          __FILE__, __LINE__, #cond,                                      \
+          (::mlsc::detail::CheckMessage{} << __VA_ARGS__).str());         \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only invariant check; removed when NDEBUG is defined.
+#ifdef NDEBUG
+#define MLSC_DCHECK(cond, ...) \
+  do {                         \
+  } while (false)
+#else
+#define MLSC_DCHECK(cond, ...) MLSC_CHECK(cond, __VA_ARGS__)
+#endif

@@ -1,0 +1,82 @@
+#include "support/dynamic_bitset.h"
+
+#include <bit>
+
+namespace mlsc {
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::size_t DynamicBitset::and_count(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+std::size_t DynamicBitset::hamming_distance(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] ^ other.words_[i]);
+  }
+  return total;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+std::vector<std::uint32_t> DynamicBitset::set_bits() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(wi * kWordBits + bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string out(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (test(i)) out[i] = '1';
+  }
+  return out;
+}
+
+std::size_t DynamicBitset::hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  h ^= size_;
+  h *= 1099511628211ull;
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace mlsc

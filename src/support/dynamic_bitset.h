@@ -1,0 +1,103 @@
+// A compact, fixed-width-at-construction bitset with the bitwise
+// operations the mapping algorithms need (popcount, AND-popcount,
+// Hamming distance).  std::vector<bool> lacks word-level access and
+// std::bitset is compile-time sized, hence this class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace mlsc {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset with `size` bits, all cleared.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t pos) const {
+    MLSC_DCHECK(pos < size_, "bit " << pos << " out of range " << size_);
+    return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t pos, bool value = true) {
+    MLSC_DCHECK(pos < size_, "bit " << pos << " out of range " << size_);
+    const std::uint64_t mask = std::uint64_t{1} << (pos % kWordBits);
+    if (value) {
+      words_[pos / kWordBits] |= mask;
+    } else {
+      words_[pos / kWordBits] &= ~mask;
+    }
+  }
+
+  void reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// Number of positions where both bitsets have a 1 (popcount(a & b)).
+  /// This is the paper's edge weight between two iteration-chunk tags.
+  std::size_t and_count(const DynamicBitset& other) const;
+
+  /// Number of positions where the bitsets differ (Hamming distance).
+  std::size_t hamming_distance(const DynamicBitset& other) const;
+
+  /// True if no position has a 1 in both bitsets (zero shared data).
+  bool disjoint(const DynamicBitset& other) const {
+    return and_count(other) == 0;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator^(DynamicBitset a, const DynamicBitset& b) {
+    a ^= b;
+    return a;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Indices of set bits in increasing order.
+  std::vector<std::uint32_t> set_bits() const;
+
+  /// Renders as a 0/1 string, most significant position last — matching
+  /// the paper's tag notation λ0 λ1 ... λr-1 left to right.
+  std::string to_string() const;
+
+  /// FNV-1a hash over the words; suitable for hash-consing tags.
+  std::size_t hash() const;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  void check_same_size(const DynamicBitset& other) const {
+    MLSC_CHECK(size_ == other.size_, "bitset size mismatch: " << size_
+                                                              << " vs "
+                                                              << other.size_);
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mlsc

@@ -1,0 +1,32 @@
+// Minimal leveled logging.  Off by default so library users and tests run
+// quietly; benchmarks can raise the level to trace mapping decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mlsc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace mlsc
+
+#define MLSC_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (static_cast<int>(level) >= static_cast<int>(::mlsc::log_level())) \
+      ::mlsc::detail::log_message(                                        \
+          level, (::std::ostringstream{} << __VA_ARGS__).str());          \
+  } while (false)
+
+#define MLSC_DEBUG(...) MLSC_LOG(::mlsc::LogLevel::kDebug, __VA_ARGS__)
+#define MLSC_INFO(...) MLSC_LOG(::mlsc::LogLevel::kInfo, __VA_ARGS__)
+#define MLSC_WARN(...) MLSC_LOG(::mlsc::LogLevel::kWarn, __VA_ARGS__)
+#define MLSC_ERROR(...) MLSC_LOG(::mlsc::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,45 @@
+#include "support/string_util.h"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace mlsc {
+
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::stringstream stream(s);
+  std::string item;
+  while (std::getline(stream, item, delim)) {
+    out.push_back(item);
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return buf.data();
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace mlsc

@@ -1,0 +1,23 @@
+// Small string helpers shared by the table printer and benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlsc {
+
+/// Joins items with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+/// Splits on a single-character delimiter; no empty-trailing trimming.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// printf-style float formatting, e.g. format_double(0.12345, 3) == "0.123".
+std::string format_double(double value, int precision);
+
+/// Left-pads / right-pads to a width with spaces.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace mlsc

@@ -1,0 +1,85 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace mlsc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MLSC_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MLSC_CHECK(row.size() == header_.size(),
+             "row arity " << row.size() << " != header arity "
+                          << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << pad_right(cells[c], widths[c]) << " |";
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) print_cells(row);
+  print_rule();
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      const bool needs_quotes =
+          cells[c].find_first_of(",\"\n") != std::string::npos;
+      if (needs_quotes) {
+        out << '"';
+        for (char ch : cells[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace mlsc

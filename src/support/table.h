@@ -1,0 +1,38 @@
+// Plain-text and CSV table rendering for benchmark output.
+//
+// Every bench binary prints the same rows/series the paper's tables and
+// figures report; this class keeps that output aligned and consistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlsc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Aligned, boxed plain-text rendering.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV rendering (quotes fields containing commas).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlsc

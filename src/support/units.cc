@@ -1,0 +1,38 @@
+#include "support/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace mlsc {
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  if (value == static_cast<std::uint64_t>(value) && value < 10000.0) {
+    std::snprintf(buf.data(), buf.size(), "%llu %s",
+                  static_cast<unsigned long long>(value), unit);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f %s", value, unit);
+  }
+  return buf.data();
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= kGiB) return format_scaled(static_cast<double>(bytes) / kGiB, "GiB");
+  if (bytes >= kMiB) return format_scaled(static_cast<double>(bytes) / kMiB, "MiB");
+  if (bytes >= kKiB) return format_scaled(static_cast<double>(bytes) / kKiB, "KiB");
+  return format_scaled(static_cast<double>(bytes), "B");
+}
+
+std::string format_time(Nanoseconds ns) {
+  if (ns >= kSecond) return format_scaled(static_cast<double>(ns) / kSecond, "s");
+  if (ns >= kMillisecond)
+    return format_scaled(static_cast<double>(ns) / kMillisecond, "ms");
+  if (ns >= kMicrosecond)
+    return format_scaled(static_cast<double>(ns) / kMicrosecond, "us");
+  return format_scaled(static_cast<double>(ns), "ns");
+}
+
+}  // namespace mlsc

@@ -1,0 +1,26 @@
+// Byte-size and time units used throughout the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlsc {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Simulated time is tracked in nanoseconds as a 64-bit count.
+using Nanoseconds = std::uint64_t;
+
+inline constexpr Nanoseconds kMicrosecond = 1000;
+inline constexpr Nanoseconds kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanoseconds kSecond = 1000 * kMillisecond;
+
+/// Renders a byte count as a human readable string, e.g. "64 KiB", "2 GiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Renders a nanosecond count as a human readable string, e.g. "1.25 ms".
+std::string format_time(Nanoseconds ns);
+
+}  // namespace mlsc

@@ -1,0 +1,68 @@
+// apsi — pollutant distribution modeling (Table 2; out-of-core version
+// of the SPEC application).
+//
+// Time-stepped 3D advection: step t reads the concentration planes of
+// step t-1 with a 7-point stencil (a true flow dependence across the
+// time loop) plus the wind fields, and writes step t's concentration.
+// The dependence makes the time loop non-permutable for a classical
+// locality pass, while the mapping approach still clusters the same grid
+// region across timesteps and restores correctness with inter-processor
+// synchronization (paper §5.4).
+#include "workloads/detail.h"
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+Workload make_apsi(double size_factor) {
+  constexpr std::int64_t kSteps = 3;   // timesteps computed (t = 1..3)
+  constexpr std::int64_t kGrid = 40;   // grid cells per dimension
+
+  Workload w;
+  w.name = "apsi";
+  w.description = "Pollutant Distribution Modeling";
+  w.paper_data_bytes = 334ull * kGiB;
+
+  const std::uint64_t element = detail::scaled_element(12 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto u = p.add_array({"u", {kGrid, kGrid, kGrid}, element});
+  const auto v = p.add_array({"v", {kGrid, kGrid, kGrid}, element});
+  const auto ww = p.add_array({"w", {kGrid, kGrid, kGrid}, element});
+  const auto conc =
+      p.add_array({"c", {kSteps + 1, kGrid, kGrid, kGrid}, element});
+
+  poly::LoopNest nest;
+  nest.name = "advect";
+  nest.space = poly::IterationSpace(std::vector<poly::LoopBounds>{
+      {1, kSteps}, {1, kGrid - 2}, {1, kGrid - 2}, {1, kGrid - 2}});
+  const auto field_at = [](std::int64_t dx, std::int64_t dy,
+                           std::int64_t dz) {
+    return poly::AccessMap::from_matrix(
+        {{0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}}, {dx, dy, dz});
+  };
+  const auto conc_at = [](std::int64_t dt, std::int64_t dx, std::int64_t dy,
+                          std::int64_t dz) {
+    return poly::AccessMap::identity(4, {dt, dx, dy, dz});
+  };
+  nest.refs = {
+      {u, field_at(0, 0, 0), false},
+      {v, field_at(0, 0, 0), false},
+      {ww, field_at(0, 0, 0), false},
+      {conc, conc_at(-1, 0, 0, 0), false},
+      {conc, conc_at(-1, -1, 0, 0), false},
+      {conc, conc_at(-1, 1, 0, 0), false},
+      {conc, conc_at(-1, 0, -1, 0), false},
+      {conc, conc_at(-1, 0, 1, 0), false},
+      {conc, conc_at(-1, 0, 0, -1), false},
+      {conc, conc_at(-1, 0, 0, 1), false},
+      {conc, conc_at(0, 0, 0, 0), /*is_write=*/true},
+  };
+  nest.compute_ns_per_iteration = 90 * kMicrosecond;
+  p.add_nest(std::move(nest));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

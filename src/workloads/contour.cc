@@ -1,0 +1,57 @@
+// contour — contour displaying (Table 2).
+//
+// Contour display extracts several isolines from the same disk-resident
+// scalar field: an outer isovalue loop re-sweeps the field with a 2x2
+// marching-squares window and writes one segment set per level.  The
+// field slice a client needs exceeds its private cache, so the original
+// (level-major) order re-streams it from disk at every level; iterations
+// of different levels share every field chunk, which a hierarchy-aware
+// mapping clusters together and the local scheduler then executes
+// region-major, converting the re-reads into cache hits.
+#include "workloads/detail.h"
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+Workload make_contour(double size_factor) {
+  constexpr std::int64_t kLevels = 4;   // isovalues displayed
+  constexpr std::int64_t kGrid = 208;   // field tiles per dimension
+
+  Workload w;
+  w.name = "contour";
+  w.description = "Contour Displaying";
+  w.paper_data_bytes = 339ull * kGiB;
+
+  const std::uint64_t field_elem =
+      detail::scaled_element(96 * kKiB, size_factor);
+  const std::uint64_t seg_elem = detail::scaled_element(8 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto field = p.add_array({"field", {kGrid, kGrid}, field_elem});
+  const auto segments =
+      p.add_array({"segs", {kLevels, kGrid - 1, kGrid - 1}, seg_elem});
+
+  poly::LoopNest nest;
+  nest.name = "marching_squares";
+  nest.space =
+      poly::IterationSpace::from_extents({kLevels, kGrid - 1, kGrid - 1});
+  nest.refs = {
+      {field, poly::AccessMap::from_matrix({{0, 1, 0}, {0, 0, 1}}, {0, 0}),
+       false},
+      {field, poly::AccessMap::from_matrix({{0, 1, 0}, {0, 0, 1}}, {1, 0}),
+       false},
+      {field, poly::AccessMap::from_matrix({{0, 1, 0}, {0, 0, 1}}, {0, 1}),
+       false},
+      {field, poly::AccessMap::from_matrix({{0, 1, 0}, {0, 0, 1}}, {1, 1}),
+       false},
+      {segments, poly::AccessMap::identity(3, {0, 0, 0}), /*is_write=*/true},
+  };
+  nest.compute_ns_per_iteration = 110 * kMicrosecond;
+  p.add_nest(std::move(nest));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

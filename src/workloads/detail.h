@@ -1,0 +1,21 @@
+// Shared helpers for the workload generators.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/check.h"
+#include "support/units.h"
+
+namespace mlsc::workloads::detail {
+
+/// Scales an element size by the workload size factor, keeping it a
+/// multiple of 1 KiB and at least 1 KiB so chunk math stays meaningful.
+inline std::uint64_t scaled_element(std::uint64_t bytes, double factor) {
+  MLSC_CHECK(factor > 0.0, "size factor must be positive");
+  const double scaled = static_cast<double>(bytes) * factor;
+  const auto kib = static_cast<std::uint64_t>(scaled / 1024.0);
+  return std::max<std::uint64_t>(1, kib) * 1024;
+}
+
+}  // namespace mlsc::workloads::detail

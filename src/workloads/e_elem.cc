@@ -1,0 +1,67 @@
+// e_elem — finite element electromagnetic modeling (Table 2).
+//
+// An iterative field solver: sweep s reads the previous sweep's solution
+// at the element and its neighbours (flow dependence across the sweep
+// loop), together with the per-element stiffness data and shared corner
+// nodes, and writes sweep s's solution.  The sweep loop is sequential
+// for a classical locality pass, but region clustering across sweeps
+// plus §5.4 synchronization recovers the reuse.
+#include "workloads/detail.h"
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+Workload make_e_elem(double size_factor) {
+  constexpr std::int64_t kSweeps = 4;   // solver iterations (s = 1..4)
+  constexpr std::int64_t kElems = 256;  // elements per mesh dimension
+
+  Workload w;
+  w.name = "e_elem";
+  w.description = "Finite Element Electromagnetic Modeling";
+  w.paper_data_bytes = 202ull * kGiB;
+
+  const std::uint64_t mesh_elem =
+      detail::scaled_element(16 * kKiB, size_factor);
+  const std::uint64_t node_elem =
+      detail::scaled_element(12 * kKiB, size_factor);
+  const std::uint64_t sol_elem = detail::scaled_element(4 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto mesh = p.add_array({"mesh", {kElems, kElems}, mesh_elem});
+  const auto nodes =
+      p.add_array({"nodes", {kElems + 1, kElems + 1}, node_elem});
+  const auto solution =
+      p.add_array({"sol", {kSweeps + 1, kElems, kElems}, sol_elem});
+
+  poly::LoopNest nest;
+  nest.name = "assemble";
+  nest.space = poly::IterationSpace(std::vector<poly::LoopBounds>{
+      {1, kSweeps}, {1, kElems - 2}, {1, kElems - 2}});
+  const auto grid_at = [](std::int64_t di, std::int64_t dj) {
+    return poly::AccessMap::from_matrix({{0, 1, 0}, {0, 0, 1}}, {di, dj});
+  };
+  const auto sol_at = [](std::int64_t ds, std::int64_t di, std::int64_t dj) {
+    return poly::AccessMap::identity(3, {ds, di, dj});
+  };
+  nest.refs = {
+      {mesh, grid_at(0, 0), false},
+      {nodes, grid_at(0, 0), false},
+      {nodes, grid_at(1, 0), false},
+      {nodes, grid_at(0, 1), false},
+      {nodes, grid_at(1, 1), false},
+      {solution, sol_at(-1, 0, 0), false},
+      {solution, sol_at(-1, -1, 0), false},
+      {solution, sol_at(-1, 1, 0), false},
+      {solution, sol_at(-1, 0, -1), false},
+      {solution, sol_at(-1, 0, 1), false},
+      {solution, sol_at(0, 0, 0), /*is_write=*/true},
+  };
+  nest.compute_ns_per_iteration = 170 * kMicrosecond;
+  p.add_nest(std::move(nest));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

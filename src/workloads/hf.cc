@@ -1,0 +1,51 @@
+// hf — Hartree-Fock method (Table 2).
+//
+// The I/O-heavy phase of out-of-core Hartree-Fock streams the huge
+// two-electron integral file exactly once while repeatedly reading the
+// (much smaller, but cache-exceeding) density and screening-bound
+// arrays: F[i] += ERI[i,j] * D[j] * Q[j].  Every client needs all of D
+// and Q — the broadcast reuse a hierarchy-aware mapping can pin per
+// client, and the original mapping re-streams past every cache level.
+#include "workloads/detail.h"
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+Workload make_hf(double size_factor) {
+  constexpr std::int64_t kFockBlocks = 128;    // i: Fock/occupied blocks
+  constexpr std::int64_t kShellBlocks = 1536;  // j: shell-pair blocks
+
+  Workload w;
+  w.name = "hf";
+  w.description = "Hartree-Fock method";
+  w.paper_data_bytes = 194ull * kGiB;
+
+  const std::uint64_t eri_elem = detail::scaled_element(16 * kKiB, size_factor);
+  const std::uint64_t vec_elem = detail::scaled_element(24 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto eri =
+      p.add_array({"ERI", {kFockBlocks, kShellBlocks}, eri_elem});
+  const auto density = p.add_array({"D", {kShellBlocks}, vec_elem});
+  const auto screen = p.add_array({"Q", {kShellBlocks}, vec_elem});
+  const auto fock = p.add_array({"F", {kFockBlocks}, vec_elem});
+
+  poly::LoopNest nest;
+  nest.name = "fock_build";
+  nest.space =
+      poly::IterationSpace::from_extents({kFockBlocks, kShellBlocks});
+  nest.refs = {
+      {eri, poly::AccessMap::identity(2, {0, 0}), false},
+      {density, poly::AccessMap::from_matrix({{0, 1}}, {0}), false},
+      {screen, poly::AccessMap::from_matrix({{0, 1}}, {0}), false},
+      {fock, poly::AccessMap::from_matrix({{1, 0}}, {0}), /*is_write=*/true},
+  };
+  nest.compute_ns_per_iteration = 150 * kMicrosecond;
+  p.add_nest(std::move(nest));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

@@ -1,0 +1,87 @@
+// irregular — unstructured-mesh flux sweep (the paper's §7 future-work
+// case: loops with irregular data access patterns).
+//
+// An edge-based CFD-style kernel: for every mesh edge, gather the two
+// endpoint node records through index arrays and write the edge flux.
+// The mesh is a 2D grid whose edge list is partially shuffled, so access
+// is neither affine nor fully random — the regime where chunk-level
+// tagging still finds structure a static compiler cannot.
+#include "workloads/detail.h"
+#include "workloads/irregular.h"
+
+#include "support/rng.h"
+
+namespace mlsc::workloads {
+
+Workload make_irregular(double size_factor, double shuffle_fraction,
+                        std::uint64_t seed) {
+  constexpr std::int64_t kSide = 104;  // nodes per grid side
+  const std::int64_t nodes_count = kSide * kSide;
+
+  Workload w;
+  w.name = "irregular";
+  w.description = "Unstructured-mesh edge flux sweep (future-work case)";
+
+  const std::uint64_t node_elem =
+      detail::scaled_element(192 * kKiB, size_factor);
+  const std::uint64_t flux_elem =
+      detail::scaled_element(48 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto nodes = p.add_array({"nodes", {nodes_count}, node_elem});
+
+  // Edge list: right neighbours then down neighbours, row-major, with a
+  // fraction of entries shuffled to break the regular order.
+  std::vector<std::int64_t> src;
+  std::vector<std::int64_t> dst;
+  for (std::int64_t y = 0; y < kSide; ++y) {
+    for (std::int64_t x = 0; x < kSide; ++x) {
+      const std::int64_t n = y * kSide + x;
+      if (x + 1 < kSide) {
+        src.push_back(n);
+        dst.push_back(n + 1);
+      }
+      if (y + 1 < kSide) {
+        src.push_back(n);
+        dst.push_back(n + kSide);
+      }
+    }
+  }
+  Rng rng(seed);
+  const auto swaps =
+      static_cast<std::size_t>(shuffle_fraction * static_cast<double>(
+                                   src.size()));
+  for (std::size_t s = 0; s < swaps; ++s) {
+    const std::size_t i = rng.next_below(src.size());
+    const std::size_t j = rng.next_below(src.size());
+    std::swap(src[i], src[j]);
+    std::swap(dst[i], dst[j]);
+  }
+  const auto num_edges = static_cast<std::int64_t>(src.size());
+  const auto flux = p.add_array({"flux", {num_edges}, flux_elem});
+  const auto src_table = p.add_index_table({"edge_src", std::move(src)});
+  const auto dst_table = p.add_index_table({"edge_dst", std::move(dst)});
+
+  poly::LoopNest nest;
+  nest.name = "edge_flux";
+  nest.space = poly::IterationSpace({{0, num_edges - 1}});
+  poly::ArrayRef src_ref;
+  src_ref.array = nodes;
+  src_ref.map = poly::AccessMap::identity(1, {0});
+  src_ref.index_table = src_table;
+  poly::ArrayRef dst_ref = src_ref;
+  dst_ref.index_table = dst_table;
+  nest.refs = {
+      src_ref,
+      dst_ref,
+      {flux, poly::AccessMap::identity(1, {0}), /*is_write=*/true},
+  };
+  nest.compute_ns_per_iteration = 250 * kMicrosecond;
+  p.add_nest(std::move(nest));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

@@ -1,0 +1,18 @@
+// The irregular (indirect-access) workload — exercises the §7
+// future-work extension.  Not part of the Table 2 suite/registry.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+/// An unstructured-mesh edge sweep whose node accesses go through index
+/// tables.  `shuffle_fraction` of the edge list is randomly permuted
+/// (0 = grid order, 1 = fully shuffled); `seed` fixes the permutation.
+Workload make_irregular(double size_factor = 1.0,
+                        double shuffle_fraction = 0.2,
+                        std::uint64_t seed = 42);
+
+}  // namespace mlsc::workloads

@@ -1,0 +1,47 @@
+// madbench2 — cosmic microwave background radiation calculation
+// (Table 2; derived from the MADCAP CMB analysis package).
+//
+// MADbench's dSdC phase derives one signal-correlation matrix per
+// spectral bin from the same disk-resident pixel-pixel template:
+// S_b[i,j] = f(b, T[i,j]).  The template is re-read once per bin, so
+// iterations of different bins share every template chunk — exactly the
+// replication scenario of the paper's Fig. 2(b): the original mapping
+// streams four copies of T through disjoint cache subtrees, while a
+// hierarchy-aware mapping lets one fetch serve all bins.
+#include "workloads/detail.h"
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+Workload make_madbench2(double size_factor) {
+  constexpr std::int64_t kBins = 4;     // spectral bins
+  constexpr std::int64_t kPix = 256;    // pixel blocks per matrix side
+
+  Workload w;
+  w.name = "madbench2";
+  w.description = "Cosmic Microwave Background Radiation Calculation";
+  w.paper_data_bytes = 240ull * kGiB;
+
+  const std::uint64_t element = detail::scaled_element(12 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto tmpl = p.add_array({"T", {kPix, kPix}, element});
+  const auto signal = p.add_array({"S", {kBins, kPix, kPix}, element});
+
+  poly::LoopNest nest;
+  nest.name = "dsdc";
+  nest.space = poly::IterationSpace::from_extents({kBins, kPix, kPix});
+  nest.refs = {
+      {tmpl, poly::AccessMap::from_matrix({{0, 1, 0}, {0, 0, 1}}, {0, 0}),
+       false},
+      {signal, poly::AccessMap::identity(3, {0, 0, 0}), /*is_write=*/true},
+  };
+  nest.compute_ns_per_iteration = 130 * kMicrosecond;
+  p.add_nest(std::move(nest));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

@@ -1,0 +1,37 @@
+#include "workloads/registry.h"
+
+#include "support/check.h"
+
+namespace mlsc::workloads {
+
+const std::vector<RegistryEntry>& registry() {
+  static const std::vector<RegistryEntry> entries = {
+      {"hf", "Hartree-Fock Method", make_hf},
+      {"sar", "Synthetic Aperture Radar Kernel", make_sar},
+      {"contour", "Contour Displaying", make_contour},
+      {"astro", "Analysis of Astronomical Data", make_astro},
+      {"e_elem", "Finite Element Electromagnetic Modeling", make_e_elem},
+      {"apsi", "Pollutant Distribution Modeling", make_apsi},
+      {"madbench2", "Cosmic Microwave Background Radiation Calculation",
+       make_madbench2},
+      {"wupwise", "Physics/Quantum Chromodynamics", make_wupwise},
+  };
+  return entries;
+}
+
+Workload make_workload(const std::string& name, double size_factor) {
+  for (const auto& entry : registry()) {
+    if (entry.name == name) return entry.factory(size_factor);
+  }
+  MLSC_CHECK(false, "unknown workload: " << name);
+  return {};  // unreachable
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& entry : registry()) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace mlsc::workloads

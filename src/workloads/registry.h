@@ -1,0 +1,28 @@
+// Name-indexed access to the application suite.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+struct RegistryEntry {
+  std::string name;
+  std::string description;
+  std::function<Workload(double)> factory;
+};
+
+/// The eight applications of Table 2, in the paper's order.
+const std::vector<RegistryEntry>& registry();
+
+/// Creates a workload by Table 2 name ("hf", "sar", ...); throws on
+/// unknown names.
+Workload make_workload(const std::string& name, double size_factor = 1.0);
+
+/// The eight names in Table 2 order.
+std::vector<std::string> workload_names();
+
+}  // namespace mlsc::workloads

@@ -1,0 +1,57 @@
+// sar — synthetic aperture radar kernel (Table 2).
+//
+// SAR image formation makes two passes over the scene: range compression
+// walks the raw data row-wise, azimuth compression walks it column-wise.
+// The transposed second pass is the classic storage-locality stress: the
+// lexicographic original order thrashes every cache level, loop
+// permutation (intra-processor) fixes the private cache, and only
+// sharing-aware mapping fixes the shared levels.  Two nests, so sar also
+// exercises the multi-nest path (§5.4).
+#include "workloads/detail.h"
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+Workload make_sar(double size_factor) {
+  constexpr std::int64_t kSize = 320;  // scene tiles per dimension
+
+  Workload w;
+  w.name = "sar";
+  w.description = "Synthetic Aperture Radar kernel";
+  w.paper_data_bytes = static_cast<std::uint64_t>(189.6 * kGiB);
+
+  const std::uint64_t element = detail::scaled_element(10 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto raw = p.add_array({"raw", {kSize, kSize}, element});
+  const auto range = p.add_array({"rng", {kSize, kSize}, element});
+  const auto image = p.add_array({"img", {kSize, kSize}, element});
+
+  // Pass 1 — range compression, row-major over the raw scene.
+  poly::LoopNest pass1;
+  pass1.name = "range_compress";
+  pass1.space = poly::IterationSpace::from_extents({kSize, kSize});
+  pass1.refs = {
+      {raw, poly::AccessMap::identity(2, {0, 0}), false},
+      {range, poly::AccessMap::identity(2, {0, 0}), /*is_write=*/true},
+  };
+  pass1.compute_ns_per_iteration = 120 * kMicrosecond;
+  p.add_nest(std::move(pass1));
+
+  // Pass 2 — azimuth compression: reads the intermediate transposed.
+  poly::LoopNest pass2;
+  pass2.name = "azimuth_compress";
+  pass2.space = poly::IterationSpace::from_extents({kSize, kSize});
+  pass2.refs = {
+      {range, poly::AccessMap::from_matrix({{0, 1}, {1, 0}}, {0, 0}), false},
+      {image, poly::AccessMap::identity(2, {0, 0}), /*is_write=*/true},
+  };
+  pass2.compute_ns_per_iteration = 150 * kMicrosecond;
+  p.add_nest(std::move(pass2));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

@@ -1,0 +1,62 @@
+// wupwise — physics / quantum chromodynamics (Table 2; out-of-core
+// version of the SPEC application, the suite's largest data set at
+// 422.7 GB).
+//
+// Lattice QCD's hopping-matrix multiply: for every 4D lattice site, read
+// the local spinor, its eight axis neighbours' spinors (±t, ±x, ±y, ±z)
+// and the gauge-link block, write the result spinor.  The 4D wrap-around
+// of the lexicographic order makes the original mapping's footprint
+// wide, which is why the deeper cache levels suffer (52.8% L3 misses in
+// the paper).
+#include "workloads/detail.h"
+#include "workloads/workload.h"
+
+namespace mlsc::workloads {
+
+Workload make_wupwise(double size_factor) {
+  constexpr std::int64_t kT = 16;
+  constexpr std::int64_t kX = 24;
+  constexpr std::int64_t kY = 24;
+  constexpr std::int64_t kZ = 24;
+
+  Workload w;
+  w.name = "wupwise";
+  w.description = "Physics/Quantum Chromodynamics";
+  w.paper_data_bytes = static_cast<std::uint64_t>(422.7 * kGiB);
+
+  const std::uint64_t spinor_elem =
+      detail::scaled_element(8 * kKiB, size_factor);
+  const std::uint64_t gauge_elem =
+      detail::scaled_element(16 * kKiB, size_factor);
+
+  poly::Program& p = w.program;
+  p.name = w.name;
+  const auto psi = p.add_array({"psi", {kT, kX, kY, kZ}, spinor_elem});
+  const auto gauge = p.add_array({"U", {kT, kX, kY, kZ}, gauge_elem});
+  const auto result = p.add_array({"res", {kT, kX, kY, kZ}, spinor_elem});
+
+  poly::LoopNest nest;
+  nest.name = "hopping_matrix";
+  nest.space = poly::IterationSpace(std::vector<poly::LoopBounds>{
+      {1, kT - 2}, {1, kX - 2}, {1, kY - 2}, {1, kZ - 2}});
+  nest.refs = {
+      {psi, poly::AccessMap::identity(4, {0, 0, 0, 0}), false},
+      {psi, poly::AccessMap::identity(4, {-1, 0, 0, 0}), false},
+      {psi, poly::AccessMap::identity(4, {1, 0, 0, 0}), false},
+      {psi, poly::AccessMap::identity(4, {0, -1, 0, 0}), false},
+      {psi, poly::AccessMap::identity(4, {0, 1, 0, 0}), false},
+      {psi, poly::AccessMap::identity(4, {0, 0, -1, 0}), false},
+      {psi, poly::AccessMap::identity(4, {0, 0, 1, 0}), false},
+      {psi, poly::AccessMap::identity(4, {0, 0, 0, -1}), false},
+      {psi, poly::AccessMap::identity(4, {0, 0, 0, 1}), false},
+      {gauge, poly::AccessMap::identity(4, {0, 0, 0, 0}), false},
+      {result, poly::AccessMap::identity(4, {0, 0, 0, 0}), /*is_write=*/true},
+  };
+  nest.compute_ns_per_iteration = 180 * kMicrosecond;
+  p.add_nest(std::move(nest));
+
+  p.validate();
+  return w;
+}
+
+}  // namespace mlsc::workloads

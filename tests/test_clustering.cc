@@ -1,0 +1,166 @@
+#include "core/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+IterationChunk make_chunk(poly::NestId nest, std::uint64_t begin,
+                          std::uint64_t end,
+                          std::vector<std::uint32_t> bits) {
+  IterationChunk c;
+  c.nest = nest;
+  c.tag = ChunkTag::from_bits(std::move(bits));
+  c.ranges = {poly::LinearRange{begin, end}};
+  c.iterations = end - begin;
+  return c;
+}
+
+/// The paper's worked example (Fig. 6/8): 8 iteration chunks of d
+/// iterations each; γ1..γ8 tags over 12 data chunks.  d = 8 here.
+std::vector<IterationChunk> fig8_chunks() {
+  const std::uint64_t d = 8;
+  std::vector<std::vector<std::uint32_t>> tags = {
+      {0, 2, 4},     // γ1  101010000000
+      {0, 1, 3, 5},  // γ2  110101000000
+      {0, 2, 4, 6},  // γ3  101010100000
+      {0, 3, 5, 7},  // γ4  100101010000
+      {0, 4, 6, 8},  // γ5  100010101000
+      {0, 5, 7, 9},  // γ6  100001010100
+      {0, 6, 8, 10},  // γ7 100000101010
+      {0, 7, 9, 11},  // γ8 100000010101
+  };
+  std::vector<IterationChunk> chunks;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    chunks.push_back(
+        make_chunk(0, i * d, (i + 1) * d, std::move(tags[i])));
+  }
+  return chunks;
+}
+
+TEST(Cluster, SingletonAndAbsorb) {
+  auto chunks = fig8_chunks();
+  auto a = Cluster::singleton(0, chunks[0]);
+  EXPECT_EQ(a.iterations, 8u);
+  EXPECT_EQ(a.members, (std::vector<std::uint32_t>{0}));
+  auto b = Cluster::singleton(2, chunks[2]);
+  a.absorb(std::move(b));
+  EXPECT_EQ(a.iterations, 16u);
+  EXPECT_EQ(a.tag.count_at(0), 2u);
+  EXPECT_EQ(a.tag.count_at(6), 1u);
+}
+
+TEST(Cluster, RemoveMember) {
+  auto chunks = fig8_chunks();
+  auto c = Cluster::singleton(0, chunks[0]);
+  c.add_member(1, chunks[1]);
+  c.remove_member(0, chunks[0]);
+  EXPECT_EQ(c.members, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(c.iterations, 8u);
+  EXPECT_THROW(c.remove_member(0, chunks[0]), mlsc::Error);
+}
+
+/// Level-1 clustering of the worked example: the paper's Fig. 9 groups
+/// the odd chunks {γ1,γ3,γ5,γ7} on one I/O node and the even chunks
+/// {γ2,γ4,γ6,γ8} on the other.
+TEST(Clustering, PaperFig9FirstLevel) {
+  auto chunks = fig8_chunks();
+  std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 2, chunks);
+  ASSERT_EQ(clusters.size(), 2u);
+
+  std::set<std::uint32_t> a(clusters[0].members.begin(),
+                            clusters[0].members.end());
+  std::set<std::uint32_t> b(clusters[1].members.begin(),
+                            clusters[1].members.end());
+  const std::set<std::uint32_t> odd{0, 2, 4, 6};   // γ1 γ3 γ5 γ7
+  const std::set<std::uint32_t> even{1, 3, 5, 7};  // γ2 γ4 γ6 γ8
+  EXPECT_TRUE((a == odd && b == even) || (a == even && b == odd))
+      << "clusters do not match the paper's Fig. 9 families";
+}
+
+/// Second level: each I/O cluster splits into the Fig. 9 client pairs.
+TEST(Clustering, PaperFig9SecondLevel) {
+  auto chunks = fig8_chunks();
+  std::vector<std::uint32_t> odd{0, 2, 4, 6};
+  auto clusters = make_singletons(odd, chunks);
+  cluster_to_count(clusters, 2, chunks);
+  ASSERT_EQ(clusters.size(), 2u);
+  std::set<std::uint32_t> a(clusters[0].members.begin(),
+                            clusters[0].members.end());
+  const std::set<std::uint32_t> low{0, 2};   // γ1, γ3 -> one client
+  const std::set<std::uint32_t> high{4, 6};  // γ5, γ7 -> the other
+  EXPECT_TRUE(a == low || a == high);
+}
+
+TEST(Clustering, MergeReducesToTarget) {
+  auto chunks = fig8_chunks();
+  std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 3, chunks);
+  EXPECT_EQ(clusters.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& c : clusters) total += c.iterations;
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(Clustering, SplitsWhenTooFewClusters) {
+  // One chunk, four clients: Fig. 5's "case when the current number of
+  // clusters is less than the required number" — split continually.
+  std::vector<IterationChunk> chunks{make_chunk(0, 0, 100, {1, 2})};
+  std::vector<std::uint32_t> all{0};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 4, chunks);
+  EXPECT_EQ(clusters.size(), 4u);
+  EXPECT_GT(chunks.size(), 1u);  // chunk table grew via splits
+  std::uint64_t total = 0;
+  for (const auto& c : clusters) {
+    total += c.iterations;
+    EXPECT_GE(c.iterations, 25u - 13u);  // roughly balanced halving
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Clustering, ZeroSharingMergesRankAdjacent) {
+  // Four disjoint-tag chunks: the fallback should merge rank neighbours,
+  // keeping the sequential order (disk-sequential) grouping.
+  std::vector<IterationChunk> chunks{
+      make_chunk(0, 0, 10, {0}),
+      make_chunk(0, 10, 20, {1}),
+      make_chunk(0, 20, 30, {2}),
+      make_chunk(0, 30, 40, {3}),
+  };
+  std::vector<std::uint32_t> all{0, 1, 2, 3};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 2, chunks);
+  ASSERT_EQ(clusters.size(), 2u);
+  for (auto& c : clusters) {
+    std::sort(c.members.begin(), c.members.end());
+  }
+  const auto& a = clusters[0].members.front() == 0 ? clusters[0] : clusters[1];
+  EXPECT_EQ(a.members, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Clustering, TargetOneMergesEverything) {
+  auto chunks = fig8_chunks();
+  std::vector<std::uint32_t> all{0, 1, 2, 3};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 1, chunks);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 4u);
+}
+
+TEST(Clustering, RejectsEmptyInput) {
+  std::vector<IterationChunk> chunks;
+  std::vector<Cluster> clusters;
+  EXPECT_THROW(cluster_to_count(clusters, 1, chunks), mlsc::Error);
+}
+
+}  // namespace
+}  // namespace mlsc::core

@@ -1,0 +1,116 @@
+// Tests for the §5.4 dependence extension: chunk-level dependences, the
+// merge-clusters strategy and sync-edge insertion.
+#include <gtest/gtest.h>
+
+#include "core/dependences.h"
+#include "core/mapper.h"
+#include "core/pipeline.h"
+#include "core/tagging.h"
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+/// for i = 1..N-1: A[i] = A[i-1]: a chain of flow dependences.
+poly::Program chain_program(std::int64_t n = 64) {
+  poly::Program p;
+  const auto a = p.add_array({"A", {n}, 64});
+  poly::LoopNest nest;
+  nest.name = "chain";
+  nest.space = poly::IterationSpace({{1, n - 1}});
+  nest.refs = {
+      {a, poly::AccessMap::identity(1, {0}), /*is_write=*/true},
+      {a, poly::AccessMap::identity(1, {-1}), false},
+  };
+  p.add_nest(std::move(nest));
+  return p;
+}
+
+TEST(ChunkDependences, ChainLinksAdjacentChunks) {
+  const auto p = chain_program();
+  const DataSpace space(p, 64 * 8);  // chunks of 8 elements
+  const std::vector<poly::NestId> nests{0};
+  const auto tagging = compute_iteration_chunks(p, space, nests);
+  const auto deps = find_chunk_dependences(p, 0, tagging.chunks);
+  EXPECT_FALSE(deps.empty());
+  for (const auto& dep : deps) {
+    // Orientation: producer has the earlier first rank.
+    EXPECT_LT(tagging.chunks[dep.src].first_rank(),
+              tagging.chunks[dep.dst].first_rank());
+  }
+}
+
+TEST(ChunkDependences, IndependentNestHasNone) {
+  poly::Program p;
+  const auto a = p.add_array({"A", {64}, 64});
+  const auto b = p.add_array({"B", {64}, 64});
+  poly::LoopNest nest;
+  nest.space = poly::IterationSpace({{0, 63}});
+  nest.refs = {
+      {b, poly::AccessMap::identity(1, {0}), /*is_write=*/true},
+      {a, poly::AccessMap::identity(1, {0}), false},
+  };
+  p.add_nest(std::move(nest));
+  const DataSpace space(p, 64 * 8);
+  const std::vector<poly::NestId> nests{0};
+  const auto tagging = compute_iteration_chunks(p, space, nests);
+  EXPECT_TRUE(find_chunk_dependences(p, 0, tagging.chunks).empty());
+}
+
+TEST(MergeDependentChunks, CollapsesConnectedComponents) {
+  const auto p = chain_program();
+  const DataSpace space(p, 64 * 8);
+  const std::vector<poly::NestId> nests{0};
+  auto tagging = compute_iteration_chunks(p, space, nests);
+  const auto deps = find_chunk_dependences(p, 0, tagging.chunks);
+  const std::uint64_t before = tagging.chunks.size();
+  const auto merged =
+      merge_dependent_chunks(std::move(tagging.chunks), deps);
+  // The chain connects everything: one chunk remains ("infinite edge
+  // weight" clustering, strategy 1).
+  EXPECT_LT(merged.size(), before);
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].iterations, 63u);
+}
+
+TEST(SyncEdges, CrossClientEdgesAreFeasible) {
+  const auto p = chain_program(256);
+  const auto tree = topology::make_layered_hierarchy(4, 2, 1, 1024, 1024,
+                                                     1024);
+  const DataSpace space(p, 64 * 8);
+  PipelineOptions options;
+  options.dependences = DependenceStrategy::kSynchronize;
+  MappingPipeline pipeline(tree, options);
+  const auto m = pipeline.run_all(p, space);
+  EXPECT_FALSE(m.sync_edges.empty());
+  for (const auto& e : m.sync_edges) {
+    EXPECT_NE(e.producer_client, e.consumer_client);
+    EXPECT_LT(e.producer_client, m.num_clients());
+    EXPECT_LT(e.consumer_client, m.num_clients());
+    EXPECT_LT(e.producer_item, m.client_work[e.producer_client].size());
+    EXPECT_LT(e.consumer_item, m.client_work[e.consumer_client].size());
+  }
+}
+
+TEST(SyncEdges, MergeStrategyNeedsNoSync) {
+  const auto p = chain_program(256);
+  const auto tree = topology::make_layered_hierarchy(4, 2, 1, 1024, 1024,
+                                                     1024);
+  const DataSpace space(p, 64 * 8);
+  PipelineOptions options;
+  options.dependences = DependenceStrategy::kMergeClusters;
+  MappingPipeline pipeline(tree, options);
+  const auto m = pipeline.run_all(p, space);
+  EXPECT_TRUE(m.sync_edges.empty());
+  m.validate_partition(p);
+}
+
+TEST(StrategyNames, Render) {
+  EXPECT_STREQ(dependence_strategy_name(DependenceStrategy::kMergeClusters),
+               "merge-clusters");
+  EXPECT_STREQ(dependence_strategy_name(DependenceStrategy::kSynchronize),
+               "synchronize");
+}
+
+}  // namespace
+}  // namespace mlsc::core

@@ -1,0 +1,126 @@
+#include "support/dynamic_bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace mlsc {
+namespace {
+
+TEST(DynamicBitset, StartsCleared) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetAndClear) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  b.set(63, false);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynamicBitset, AndCountMatchesPaperEdgeWeight) {
+  // Fig. 8: weight(γ1, γ3) = popcount(101010000000 & 101010100000) = 3.
+  DynamicBitset g1(12);
+  for (std::size_t i : {0u, 2u, 4u}) g1.set(i);
+  DynamicBitset g3(12);
+  for (std::size_t i : {0u, 2u, 4u, 6u}) g3.set(i);
+  EXPECT_EQ(g1.and_count(g3), 3u);
+  EXPECT_EQ(g3.and_count(g1), 3u);
+}
+
+TEST(DynamicBitset, DisjointAndHamming) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.set(10);
+  b.set(90);
+  EXPECT_TRUE(a.disjoint(b));
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  b.set(10);
+  EXPECT_FALSE(a.disjoint(b));
+  EXPECT_EQ(a.hamming_distance(b), 1u);
+}
+
+TEST(DynamicBitset, BitwiseOperators) {
+  DynamicBitset a(66);
+  DynamicBitset b(66);
+  a.set(1);
+  a.set(65);
+  b.set(1);
+  b.set(2);
+  const DynamicBitset o = a | b;
+  EXPECT_EQ(o.count(), 3u);
+  const DynamicBitset n = a & b;
+  EXPECT_EQ(n.count(), 1u);
+  EXPECT_TRUE(n.test(1));
+  const DynamicBitset x = a ^ b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(2));
+  EXPECT_TRUE(x.test(65));
+}
+
+TEST(DynamicBitset, SetBitsRoundTrip) {
+  DynamicBitset b(200);
+  const std::vector<std::uint32_t> bits = {0, 5, 64, 128, 199};
+  for (auto i : bits) b.set(i);
+  EXPECT_EQ(b.set_bits(), bits);
+}
+
+TEST(DynamicBitset, ToStringMatchesPaperNotation) {
+  DynamicBitset b(4);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ(b.to_string(), "0011");  // the paper's example tag
+}
+
+TEST(DynamicBitset, SizeMismatchThrows) {
+  DynamicBitset a(10);
+  DynamicBitset b(11);
+  EXPECT_THROW(a.and_count(b), Error);
+  EXPECT_THROW(a |= b, Error);
+}
+
+TEST(DynamicBitset, HashDiffersOnContent) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(77);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+/// Property: and_count and hamming agree with a per-bit reference on
+/// random bitsets.
+TEST(DynamicBitsetProperty, AgreesWithReference) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t size = 1 + rng.next_below(300);
+    DynamicBitset a(size);
+    DynamicBitset b(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.next_double() < 0.3) a.set(i);
+      if (rng.next_double() < 0.3) b.set(i);
+    }
+    std::size_t both = 0;
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      both += a.test(i) && b.test(i);
+      diff += a.test(i) != b.test(i);
+    }
+    EXPECT_EQ(a.and_count(b), both);
+    EXPECT_EQ(a.hamming_distance(b), diff);
+  }
+}
+
+}  // namespace
+}  // namespace mlsc

@@ -1,0 +1,71 @@
+#include "core/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+IterationChunk make_chunk(std::uint64_t begin,
+                          std::vector<std::uint32_t> bits) {
+  IterationChunk c;
+  c.tag = ChunkTag::from_bits(std::move(bits));
+  c.ranges = {poly::LinearRange{begin, begin + 4}};
+  c.iterations = 4;
+  return c;
+}
+
+TEST(ChunkGraph, WeightsAreCommonBits) {
+  std::vector<IterationChunk> chunks{
+      make_chunk(0, {0, 2, 4}),
+      make_chunk(4, {0, 2, 4, 6}),
+      make_chunk(8, {1, 3}),
+  };
+  const ChunkGraph graph(chunks);
+  EXPECT_EQ(graph.num_nodes(), 3u);
+  EXPECT_EQ(graph.weight(0, 1), 3u);
+  EXPECT_EQ(graph.weight(0, 2), 0u);
+  EXPECT_EQ(graph.weight(1, 0), 3u);  // symmetric
+  EXPECT_EQ(graph.weight(0, 0), 0u);  // no self edges
+}
+
+TEST(ChunkGraph, EdgesOmitZeroWeights) {
+  std::vector<IterationChunk> chunks{
+      make_chunk(0, {0}),
+      make_chunk(4, {1}),
+      make_chunk(8, {0, 1}),
+  };
+  const ChunkGraph graph(chunks);
+  EXPECT_EQ(graph.edges().size(), 2u);  // (0,2) and (1,2) only
+  EXPECT_EQ(graph.neighbors(2), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_TRUE(graph.neighbors(0).size() == 1);
+}
+
+TEST(ChunkGraph, InfiniteWeightForDependences) {
+  std::vector<IterationChunk> chunks{
+      make_chunk(0, {0}),
+      make_chunk(4, {1}),
+  };
+  ChunkGraph graph(chunks);
+  EXPECT_EQ(graph.weight(0, 1), 0u);
+  graph.set_infinite(0, 1);
+  EXPECT_EQ(graph.weight(0, 1), GraphEdge::kInfiniteWeight);
+  EXPECT_EQ(graph.edges().size(), 1u);
+  EXPECT_EQ(graph.edges()[0].weight, GraphEdge::kInfiniteWeight);
+}
+
+TEST(ChunkGraph, DotRendering) {
+  std::vector<IterationChunk> chunks{
+      make_chunk(0, {0, 1}),
+      make_chunk(4, {1, 2}),
+  };
+  const ChunkGraph graph(chunks);
+  const auto dot = graph.to_dot(chunks, 4);
+  EXPECT_NE(dot.find("graph iteration_chunks"), std::string::npos);
+  EXPECT_NE(dot.find("g0 -- g1"), std::string::npos);
+  EXPECT_NE(dot.find("1100"), std::string::npos);  // γ0's tag
+}
+
+}  // namespace
+}  // namespace mlsc::core

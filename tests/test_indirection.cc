@@ -1,0 +1,121 @@
+// Tests for the indirect-reference IR extension (paper §7 future work).
+#include <gtest/gtest.h>
+
+#include "core/data_space.h"
+#include "core/tagging.h"
+#include "poly/dependence.h"
+#include "poly/loop_nest.h"
+#include "support/check.h"
+
+namespace mlsc::poly {
+namespace {
+
+Program gather_program() {
+  // for e in 0..3: read nodes[idx[e]], write out[e]
+  Program p;
+  const auto nodes = p.add_array({"nodes", {8}, 64});
+  const auto out = p.add_array({"out", {4}, 64});
+  const auto idx = p.add_index_table({"idx", {5, 1, 1, 7}});
+  LoopNest nest;
+  nest.name = "gather";
+  nest.space = IterationSpace({{0, 3}});
+  ArrayRef gather;
+  gather.array = nodes;
+  gather.map = AccessMap::identity(1, {0});
+  gather.index_table = idx;
+  nest.refs = {
+      gather,
+      {out, AccessMap::identity(1, {0}), /*is_write=*/true},
+  };
+  p.add_nest(std::move(nest));
+  return p;
+}
+
+TEST(Indirection, ResolveElementFollowsTable) {
+  const auto p = gather_program();
+  const auto& ref = p.nest(0).refs[0];
+  EXPECT_EQ(resolve_element(p, ref, Iteration{0}), 5u);
+  EXPECT_EQ(resolve_element(p, ref, Iteration{1}), 1u);
+  EXPECT_EQ(resolve_element(p, ref, Iteration{2}), 1u);
+  EXPECT_EQ(resolve_element(p, ref, Iteration{3}), 7u);
+}
+
+TEST(Indirection, DirectReferencesUnchanged) {
+  const auto p = gather_program();
+  const auto& ref = p.nest(0).refs[1];
+  EXPECT_FALSE(ref.is_indirect());
+  EXPECT_EQ(resolve_element(p, ref, Iteration{2}), 2u);
+}
+
+TEST(Indirection, ValidateAcceptsInBoundsTables) {
+  EXPECT_NO_THROW(gather_program().validate());
+}
+
+TEST(Indirection, ValidateRejectsOutOfBoundsEntry) {
+  auto p = gather_program();
+  p.index_tables[0].values[2] = 8;  // nodes has 8 elements: 0..7
+  EXPECT_THROW(p.validate(), mlsc::Error);
+}
+
+TEST(Indirection, ValidateRejectsShortTable) {
+  auto p = gather_program();
+  p.index_tables[0].values.resize(2);  // loop runs to position 3
+  EXPECT_THROW(p.validate(), mlsc::Error);
+}
+
+TEST(Indirection, TagsFollowGatheredFootprint) {
+  const auto p = gather_program();
+  const core::DataSpace space(p, 64);  // one element per chunk
+  const std::vector<NestId> nests{0};
+  const auto result = core::compute_iteration_chunks(p, space, nests);
+  // Iteration 0 touches nodes[5] (chunk 5) and out[0] (chunk 8).
+  bool found = false;
+  for (const auto& chunk : result.chunks) {
+    if (chunk.first_rank() == 0) {
+      EXPECT_TRUE(chunk.tag.test(5));
+      EXPECT_TRUE(chunk.tag.test(8));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Iterations 1 and 2 share nodes[1]: their chunks' tags share bit 1.
+  std::size_t sharers = 0;
+  for (const auto& chunk : result.chunks) {
+    if (chunk.tag.test(1)) ++sharers;
+  }
+  EXPECT_GE(sharers, 1u);
+}
+
+TEST(Indirection, WritesThroughTablesAreConservativeDeps) {
+  // scatter: write nodes[idx[e]], read nodes[e]: must be a "*" dep.
+  Program p;
+  const auto nodes = p.add_array({"nodes", {8}, 64});
+  const auto idx = p.add_index_table({"idx", {5, 1, 1, 7}});
+  LoopNest nest;
+  nest.space = IterationSpace({{0, 3}});
+  ArrayRef scatter;
+  scatter.array = nodes;
+  scatter.map = AccessMap::identity(1, {0});
+  scatter.index_table = idx;
+  scatter.is_write = true;
+  nest.refs = {
+      scatter,
+      {nodes, AccessMap::identity(1, {0}), false},
+  };
+  p.add_nest(std::move(nest));
+  const auto deps = find_dependences(p.nest(0));
+  ASSERT_FALSE(deps.empty());
+  for (const auto& dep : deps) {
+    for (const auto& d : dep.distance) {
+      EXPECT_FALSE(d.has_value()) << "indirect deps must be unknown";
+    }
+  }
+}
+
+TEST(Indirection, ReadOnlyGatherHasNoDeps) {
+  const auto p = gather_program();
+  EXPECT_TRUE(find_dependences(p.nest(0)).empty());
+}
+
+}  // namespace
+}  // namespace mlsc::poly

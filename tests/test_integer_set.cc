@@ -1,0 +1,195 @@
+#include "poly/integer_set.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mlsc::poly {
+namespace {
+
+TEST(IntegerSet, UniverseContainsSpace) {
+  IntegerSet set(IterationSpace::from_extents({4, 4}));
+  EXPECT_FALSE(set.is_empty());
+  EXPECT_EQ(set.cardinality(), 16u);
+  EXPECT_TRUE(set.contains(Iteration{0, 0}));
+  EXPECT_FALSE(set.contains(Iteration{4, 0}));
+}
+
+TEST(IntegerSet, HalfPlaneConstraint) {
+  // i0 >= i1  over a 4x4 box: the lower triangle (10 points).
+  IntegerSet set(IterationSpace::from_extents({4, 4}));
+  set.add_constraint(AffineExpr({1, -1}, 0));
+  EXPECT_EQ(set.cardinality(), 10u);
+  EXPECT_TRUE(set.contains(Iteration{3, 1}));
+  EXPECT_FALSE(set.contains(Iteration{1, 3}));
+}
+
+TEST(IntegerSet, EmptyByContradiction) {
+  // i0 >= 3 and i0 <= 1 cannot both hold.
+  IntegerSet set(IterationSpace::from_extents({8}));
+  set.add_constraint(AffineExpr({1}, -3));   // i0 - 3 >= 0
+  set.add_constraint(AffineExpr({-1}, 1));   // 1 - i0 >= 0
+  EXPECT_TRUE(set.is_empty());
+  EXPECT_EQ(set.cardinality(), 0u);
+}
+
+TEST(IntegerSet, EmptyByBoxClipping) {
+  // i0 >= 100 over a space with upper bound 7.
+  IntegerSet set(IterationSpace::from_extents({8}));
+  set.add_constraint(AffineExpr({1}, -100));
+  EXPECT_TRUE(set.is_empty());
+}
+
+TEST(IntegerSet, RationalFeasibleButIntegerEmpty) {
+  // 2*i0 = 5 has a rational solution (2.5) but no integer one:
+  // 2 i0 - 5 >= 0 and 5 - 2 i0 >= 0.
+  IntegerSet set(IterationSpace::from_extents({8}));
+  set.add_constraint(AffineExpr({2}, -5));
+  set.add_constraint(AffineExpr({-2}, 5));
+  EXPECT_TRUE(set.is_empty());
+}
+
+TEST(IntegerSet, IntersectionNarrows) {
+  IntegerSet a(IterationSpace::from_extents({6, 6}));
+  a.add_constraint(AffineExpr({1, 0}, -2));  // i0 >= 2
+  IntegerSet b(IterationSpace::from_extents({6, 6}));
+  b.add_constraint(AffineExpr({-1, 0}, 3));  // i0 <= 3
+  const auto both = a.intersect(b);
+  EXPECT_EQ(both.cardinality(), 2u * 6u);
+  EXPECT_FALSE(both.is_empty());
+}
+
+TEST(IntegerSet, BoundingBoxTightens) {
+  IntegerSet set(IterationSpace::from_extents({10, 10}));
+  set.add_bounds(AffineExpr::iterator(2, 0), 3, 5);
+  set.add_bounds(AffineExpr::iterator(2, 1), 7, 9);
+  const auto box = set.bounding_box();
+  ASSERT_TRUE(box.has_value());
+  EXPECT_EQ((*box)[0], (LoopBounds{3, 5}));
+  EXPECT_EQ((*box)[1], (LoopBounds{7, 9}));
+}
+
+TEST(IntegerSet, EnumerateMatchesContains) {
+  IntegerSet set(IterationSpace::from_extents({5, 5}));
+  set.add_constraint(AffineExpr({1, 1}, -4));   // i0 + i1 >= 4
+  set.add_constraint(AffineExpr({-1, -1}, 6));  // i0 + i1 <= 6
+  const auto members = set.enumerate();
+  EXPECT_FALSE(members.empty());
+  std::uint64_t brute = 0;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      brute += set.contains(Iteration{i, j}) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(members.size(), brute);
+  for (const auto& m : members) EXPECT_TRUE(set.contains(m));
+}
+
+TEST(ByteOffset, RowMajorAffineForm) {
+  Program p;
+  const auto a = p.add_array({"A", {4, 8}, 100});
+  LoopNest nest;
+  nest.space = IterationSpace::from_extents({4, 8});
+  nest.refs = {{a, AccessMap::identity(2, {0, 0}), false}};
+  p.add_nest(std::move(nest));
+  const auto offset = byte_offset_expr(p, p.nest(0).refs[0]);
+  // element (i0, i1) = i0*8 + i1; bytes = 100 * that.
+  EXPECT_EQ(offset.evaluate(Iteration{0, 0}), 0);
+  EXPECT_EQ(offset.evaluate(Iteration{1, 0}), 800);
+  EXPECT_EQ(offset.evaluate(Iteration{2, 3}), 1900);
+}
+
+TEST(ChunkPreimage, MatchesEnumeration) {
+  // The analytic preimage (the paper's γΛ membership building block)
+  // must agree with brute-force footprint evaluation.
+  Program p;
+  const auto a = p.add_array({"A", {6, 6}, 96});  // 96 B elements
+  LoopNest nest;
+  nest.space = IterationSpace::from_extents({6, 6});
+  nest.refs = {{a, AccessMap::identity(2, {0, 0}), false}};
+  p.add_nest(std::move(nest));
+
+  const std::uint64_t chunk_size = 256;
+  const std::uint64_t total_bytes = 36 * 96;
+  const std::uint64_t num_chunks = (total_bytes + chunk_size - 1) / chunk_size;
+  for (std::uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const std::uint64_t first = chunk * chunk_size;
+    const std::uint64_t last = first + chunk_size - 1;
+    const auto preimage =
+        chunk_preimage(p, p.nest(0), p.nest(0).refs[0], chunk_size, first,
+                       last);
+    for (std::int64_t i = 0; i < 6; ++i) {
+      for (std::int64_t j = 0; j < 6; ++j) {
+        const Iteration iter{i, j};
+        const std::uint64_t off =
+            static_cast<std::uint64_t>((i * 6 + j) * 96);
+        const bool touches = off <= last && off + 96 > first;
+        EXPECT_EQ(preimage.contains(iter), touches)
+            << "chunk " << chunk << " iter (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(ChunkPreimage, TransposedReference) {
+  Program p;
+  const auto a = p.add_array({"A", {4, 4}, 64});
+  LoopNest nest;
+  nest.space = IterationSpace::from_extents({4, 4});
+  nest.refs = {{a, AccessMap::from_matrix({{0, 1}, {1, 0}}, {0, 0}), false}};
+  p.add_nest(std::move(nest));
+  // Chunk = first 4 elements = row 0 of A = accessed by iterations with
+  // i1 == 0 (transposed).
+  const auto preimage = chunk_preimage(p, p.nest(0), p.nest(0).refs[0],
+                                       256, 0, 255);
+  EXPECT_EQ(preimage.cardinality(), 4u);
+  EXPECT_TRUE(preimage.contains(Iteration{2, 0}));
+  EXPECT_FALSE(preimage.contains(Iteration{0, 2}));
+}
+
+TEST(ChunkPreimage, RejectsIndirectRefs) {
+  Program p;
+  const auto nodes = p.add_array({"nodes", {8}, 64});
+  const auto idx = p.add_index_table({"idx", {0, 1}});
+  LoopNest nest;
+  nest.space = IterationSpace({{0, 1}});
+  ArrayRef ref;
+  ref.array = nodes;
+  ref.map = AccessMap::identity(1, {0});
+  ref.index_table = idx;
+  nest.refs = {ref};
+  p.add_nest(std::move(nest));
+  EXPECT_THROW(byte_offset_expr(p, p.nest(0).refs[0]), mlsc::Error);
+}
+
+/// Property: on random small boxes with random constraints, is_empty()
+/// agrees with brute-force search.
+TEST(IntegerSetProperty, EmptinessMatchesBruteForce) {
+  mlsc::Rng rng(23);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::int64_t e0 = 1 + rng.next_below(6);
+    const std::int64_t e1 = 1 + rng.next_below(6);
+    IntegerSet set(IterationSpace::from_extents({e0, e1}));
+    const int num_constraints = 1 + rng.next_below(4);
+    for (int c = 0; c < num_constraints; ++c) {
+      const auto coeff = [&] {
+        return static_cast<std::int64_t>(rng.next_below(7)) - 3;
+      };
+      set.add_constraint(AffineExpr({coeff(), coeff()},
+                                    static_cast<std::int64_t>(
+                                        rng.next_below(9)) -
+                                        4));
+    }
+    bool brute_nonempty = false;
+    for (std::int64_t i = 0; i < e0 && !brute_nonempty; ++i) {
+      for (std::int64_t j = 0; j < e1 && !brute_nonempty; ++j) {
+        brute_nonempty = set.contains(Iteration{i, j});
+      }
+    }
+    EXPECT_EQ(set.is_empty(), !brute_nonempty) << set.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace mlsc::poly

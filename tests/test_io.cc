@@ -1,0 +1,90 @@
+// Tests for the I/O substrate: disk model, network model, striping.
+#include <gtest/gtest.h>
+
+#include "io/disk.h"
+#include "io/network.h"
+#include "io/striping.h"
+#include "support/check.h"
+
+namespace mlsc::io {
+namespace {
+
+TEST(Disk, RotationalDelayFromRpm) {
+  DiskParams params;
+  params.rpm = 10'000;  // Table 1
+  const DiskModel disk(params);
+  // Half a revolution at 10k RPM = 3 ms.
+  EXPECT_EQ(disk.rotational_delay(), 3 * kMillisecond);
+}
+
+TEST(Disk, SeekClassOrdering) {
+  const DiskModel disk(DiskParams{});
+  const auto seq = disk.service_time(64 * kKiB, SeekClass::kSequential);
+  const auto near = disk.service_time(64 * kKiB, SeekClass::kNear);
+  const auto far = disk.service_time(64 * kKiB, SeekClass::kFar);
+  EXPECT_LT(seq, near);
+  EXPECT_LT(near, far);
+}
+
+TEST(Disk, TransferScalesWithBytes) {
+  const DiskModel disk(DiskParams{});
+  const auto small = disk.service_time(64 * kKiB, SeekClass::kFar);
+  const auto large = disk.service_time(1 * kMiB, SeekClass::kFar);
+  EXPECT_GT(large, small);
+}
+
+TEST(Disk, ClassifySeekByDistance) {
+  DiskParams params;
+  params.near_window_chunks = 100;
+  const DiskModel disk(params);
+  EXPECT_EQ(disk.classify_seek(10, 11), SeekClass::kSequential);
+  EXPECT_EQ(disk.classify_seek(11, 10), SeekClass::kSequential);
+  EXPECT_EQ(disk.classify_seek(10, 10), SeekClass::kSequential);
+  EXPECT_EQ(disk.classify_seek(10, 60), SeekClass::kNear);
+  EXPECT_EQ(disk.classify_seek(10, 111), SeekClass::kFar);
+}
+
+TEST(Disk, RejectsBadParams) {
+  DiskParams params;
+  params.rpm = 0;
+  EXPECT_THROW(DiskModel{params}, mlsc::Error);
+  params = DiskParams{};
+  params.sequential_discount = 1.5;
+  EXPECT_THROW(DiskModel{params}, mlsc::Error);
+}
+
+TEST(Network, HopsAddLatency) {
+  const NetworkModel net(NetworkParams{});
+  const auto local = net.local_copy_time(64 * kKiB);
+  const auto one_hop = net.transfer_time(64 * kKiB, 1);
+  const auto two_hops = net.transfer_time(64 * kKiB, 2);
+  EXPECT_LT(local, one_hop);
+  EXPECT_LT(one_hop, two_hops);
+  EXPECT_EQ(net.transfer_time(64 * kKiB, 0), local);
+}
+
+TEST(Striping, RoundRobinAcrossStorageNodes) {
+  // Table 1: stripe size 64 KB across 16 storage nodes; chunk == stripe.
+  const StripingLayout layout(64 * kKiB, 64 * kKiB, 16);
+  for (std::uint64_t chunk = 0; chunk < 64; ++chunk) {
+    EXPECT_EQ(layout.storage_node_of_chunk(chunk), chunk % 16);
+  }
+}
+
+TEST(Striping, WideStripesGroupChunks) {
+  // 256 KB stripes of 64 KB chunks: 4 consecutive chunks per node.
+  const StripingLayout layout(256 * kKiB, 64 * kKiB, 4);
+  EXPECT_EQ(layout.storage_node_of_chunk(0), 0u);
+  EXPECT_EQ(layout.storage_node_of_chunk(3), 0u);
+  EXPECT_EQ(layout.storage_node_of_chunk(4), 1u);
+  EXPECT_TRUE(layout.sequential_on_disk(0, 1));
+  EXPECT_FALSE(layout.sequential_on_disk(3, 4));  // different nodes
+}
+
+TEST(Striping, RejectsBadParams) {
+  EXPECT_THROW(StripingLayout(0, 64, 4), mlsc::Error);
+  EXPECT_THROW(StripingLayout(64, 64, 0), mlsc::Error);
+}
+
+}  // namespace
+}  // namespace mlsc::io

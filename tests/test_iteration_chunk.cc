@@ -1,0 +1,75 @@
+#include "core/iteration_chunk.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+IterationChunk chunk_with_ranges(std::vector<poly::LinearRange> ranges,
+                                 std::vector<std::uint32_t> bits) {
+  IterationChunk c;
+  c.tag = ChunkTag::from_bits(std::move(bits));
+  c.ranges = poly::normalize_ranges(std::move(ranges));
+  c.iterations = poly::total_range_size(c.ranges);
+  return c;
+}
+
+TEST(IterationChunk, FirstRank) {
+  const auto c = chunk_with_ranges({{10, 20}, {5, 8}}, {1});
+  EXPECT_EQ(c.first_rank(), 5u);
+  IterationChunk empty;
+  EXPECT_THROW(empty.first_rank(), mlsc::Error);
+}
+
+TEST(SplitChunk, SplitsSingleRange) {
+  const auto c = chunk_with_ranges({{0, 10}}, {1, 2});
+  const auto [head, tail] = split_chunk(c, 4);
+  EXPECT_EQ(head.iterations, 4u);
+  EXPECT_EQ(head.ranges, (std::vector<poly::LinearRange>{{0, 4}}));
+  EXPECT_EQ(tail.iterations, 6u);
+  EXPECT_EQ(tail.ranges, (std::vector<poly::LinearRange>{{4, 10}}));
+  EXPECT_EQ(head.tag, c.tag);
+  EXPECT_EQ(tail.tag, c.tag);
+}
+
+TEST(SplitChunk, SplitsAcrossRanges) {
+  const auto c = chunk_with_ranges({{0, 3}, {10, 13}, {20, 24}}, {1});
+  const auto [head, tail] = split_chunk(c, 5);
+  EXPECT_EQ(head.iterations, 5u);
+  EXPECT_EQ(tail.iterations, 5u);
+  // Head takes the front ranges: [0,3) plus [10,12).
+  EXPECT_EQ(head.ranges,
+            (std::vector<poly::LinearRange>{{0, 3}, {10, 12}}));
+  EXPECT_EQ(tail.ranges,
+            (std::vector<poly::LinearRange>{{12, 13}, {20, 24}}));
+}
+
+TEST(SplitChunk, RejectsDegenerateSplits) {
+  const auto c = chunk_with_ranges({{0, 4}}, {1});
+  EXPECT_THROW(split_chunk(c, 0), mlsc::Error);
+  EXPECT_THROW(split_chunk(c, 4), mlsc::Error);
+  EXPECT_THROW(split_chunk(c, 9), mlsc::Error);
+}
+
+TEST(MergeChunks, UnionsTagsAndRanges) {
+  const auto a = chunk_with_ranges({{0, 5}}, {1, 2});
+  const auto b = chunk_with_ranges({{5, 8}}, {2, 3});
+  const auto m = merge_chunks(a, b);
+  EXPECT_EQ(m.iterations, 8u);
+  EXPECT_EQ(m.ranges, (std::vector<poly::LinearRange>{{0, 8}}));
+  EXPECT_EQ(m.tag.bits(), (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(MergeChunks, RejectsOverlapsAndNestMismatch) {
+  auto a = chunk_with_ranges({{0, 5}}, {1});
+  auto b = chunk_with_ranges({{3, 8}}, {2});
+  EXPECT_THROW(merge_chunks(a, b), mlsc::Error);  // overlapping iterations
+  auto c = chunk_with_ranges({{10, 12}}, {2});
+  c.nest = 1;
+  EXPECT_THROW(merge_chunks(a, c), mlsc::Error);
+}
+
+}  // namespace
+}  // namespace mlsc::core

@@ -1,0 +1,53 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace mlsc::sim {
+namespace {
+
+TEST(MachineConfig, PaperDefaultMatchesTable1) {
+  const auto config = MachineConfig::paper_default();
+  EXPECT_EQ(config.clients, 64u);
+  EXPECT_EQ(config.io_nodes, 32u);
+  EXPECT_EQ(config.storage_nodes, 16u);
+  EXPECT_EQ(config.chunk_size_bytes, 64 * kKiB);
+  EXPECT_EQ(config.stripe_size_bytes, 64 * kKiB);
+  EXPECT_EQ(config.policy, cache::PolicyKind::kLru);
+  // Per-node caches: the paper's 2 GB at 1/64 scale.
+  EXPECT_EQ(config.client_cache_bytes, 2 * kGiB / 64);
+  EXPECT_EQ(config.disk.rpm, 10'000u);
+  EXPECT_FALSE(config.write_back);
+  EXPECT_FALSE(config.cooperative_caching);
+  EXPECT_EQ(config.readahead_chunks, 0u);
+}
+
+TEST(MachineConfig, BuildTreeMatchesCounts) {
+  const auto config = MachineConfig::paper_default();
+  const auto tree = config.build_tree();
+  EXPECT_EQ(tree.num_clients(), 64u);
+  // dummy root + 16 + 32 + 64 nodes.
+  EXPECT_EQ(tree.num_nodes(), 1u + 16 + 32 + 64);
+}
+
+TEST(MachineConfig, ToStringListsEnabledFeatures) {
+  MachineConfig config;
+  EXPECT_EQ(config.to_string().find("write-back"), std::string::npos);
+  config.write_back = true;
+  config.cooperative_caching = true;
+  config.readahead_chunks = 3;
+  const auto s = config.to_string();
+  EXPECT_NE(s.find("write-back"), std::string::npos);
+  EXPECT_NE(s.find("cooperative"), std::string::npos);
+  EXPECT_NE(s.find("readahead=3"), std::string::npos);
+}
+
+TEST(MachineConfig, InvalidTopologyThrowsOnBuild) {
+  MachineConfig config;
+  config.clients = 10;  // does not divide across 32 I/O nodes
+  EXPECT_THROW(config.build_tree(), mlsc::Error);
+}
+
+}  // namespace
+}  // namespace mlsc::sim

@@ -1,0 +1,115 @@
+#include "core/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/tagging.h"
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+/// Fig. 6 program (A[x] modelled as the constant reference A[0]).
+poly::Program fig6_program(std::int64_t d = 8) {
+  poly::Program p;
+  const auto a = p.add_array({"A", {12 * d}, 64});
+  poly::LoopNest nest;
+  nest.name = "fig6";
+  nest.space = poly::IterationSpace({{0, 8 * d - 1}});
+  nest.refs = {
+      {a, poly::AccessMap::identity(1, {0}), true},
+      {a, poly::AccessMap::from_matrix({{0}}, {0}), false},
+      {a, poly::AccessMap::identity(1, {4 * d}), false},
+      {a, poly::AccessMap::identity(1, {2 * d}), false},
+  };
+  p.add_nest(std::move(nest));
+  return p;
+}
+
+/// Fig. 7 target hierarchy: 4 clients, 2 I/O nodes, 1 storage node.
+topology::HierarchyTree fig7_tree() {
+  return topology::make_layered_hierarchy(4, 2, 1, 1024, 1024, 1024);
+}
+
+TEST(HierarchicalMapper, Fig9EndToEnd) {
+  const auto p = fig6_program();
+  const auto tree = fig7_tree();
+  const DataSpace space(p, 64 * 8);
+  HierarchicalMapper mapper(tree);
+  const std::vector<poly::NestId> nests{0};
+  const auto mapping = mapper.map(p, space, nests);
+
+  ASSERT_EQ(mapping.num_clients(), 4u);
+  mapping.validate_partition(p);
+  EXPECT_EQ(mapping.kind, MapperKind::kInterProcessor);
+
+  // Fig. 9/17: each client gets one parity family pair — {γ2,γ4},
+  // {γ6,γ8}, {γ1,γ3}, {γ5,γ7} (client order may differ; the invariant is
+  // the grouping).  γk covers ranks [ (k-1)*8, k*8 ).
+  std::set<std::set<std::uint64_t>> groups;
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::set<std::uint64_t> firsts;
+    for (const auto& item : mapping.client_work[c]) {
+      firsts.insert(item.ranges.front().begin / 8 + 1);  // γ index
+    }
+    groups.insert(firsts);
+  }
+  const std::set<std::set<std::uint64_t>> expected{
+      {1, 3}, {5, 7}, {2, 4}, {6, 8}};
+  EXPECT_EQ(groups, expected);
+}
+
+TEST(HierarchicalMapper, PartitionInvariantOnPaperTopology) {
+  const auto p = fig6_program(16);
+  const auto tree = topology::make_layered_hierarchy(8, 4, 2, 1024, 1024,
+                                                     1024);
+  const DataSpace space(p, 64 * 16);
+  HierarchicalMapper mapper(tree);
+  const std::vector<poly::NestId> nests{0};
+  const auto mapping = mapper.map(p, space, nests);
+  mapping.validate_partition(p);
+  EXPECT_EQ(mapping.total_iterations(), p.nest(0).space.size());
+}
+
+TEST(HierarchicalMapper, BalanceWithinThreshold) {
+  // Large enough that integer rounding of the window is negligible.
+  const auto p = fig6_program(128);
+  const auto tree = topology::make_layered_hierarchy(8, 4, 2, 1024, 1024,
+                                                     1024);
+  const DataSpace space(p, 64 * 4);
+  HierarchicalMapperOptions options;
+  options.balance_threshold = 0.10;
+  HierarchicalMapper mapper(tree, options);
+  const std::vector<poly::NestId> nests{0};
+  const auto mapping = mapper.map(p, space, nests);
+  // BThres bounds the deviation of any client from the ideal.
+  EXPECT_LE(mapping.imbalance(), 0.11);
+}
+
+TEST(HierarchicalMapper, EveryItemIsAnIterationChunk) {
+  const auto p = fig6_program();
+  const auto tree = fig7_tree();
+  const DataSpace space(p, 64 * 8);
+  HierarchicalMapper mapper(tree);
+  const std::vector<poly::NestId> nests{0};
+  const auto mapping = mapper.map(p, space, nests);
+  for (const auto& work : mapping.client_work) {
+    for (const auto& item : work) {
+      ASSERT_GE(item.chunk, 0);
+      const auto& chunk =
+          mapping.chunk_table[static_cast<std::size_t>(item.chunk)];
+      EXPECT_EQ(item.ranges, chunk.ranges);
+      EXPECT_EQ(item.iterations, chunk.iterations);
+    }
+  }
+}
+
+TEST(HierarchicalMapper, RequiresChunks) {
+  const auto tree = fig7_tree();
+  HierarchicalMapper mapper(tree);
+  EXPECT_THROW(mapper.map_chunks({}), mlsc::Error);
+}
+
+}  // namespace
+}  // namespace mlsc::core

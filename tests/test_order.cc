@@ -1,0 +1,120 @@
+#include "poly/order.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.h"
+
+namespace mlsc::poly {
+namespace {
+
+std::vector<Iteration> walk_all(const IterationSpace& space,
+                                const IterationOrder& order) {
+  std::vector<Iteration> out;
+  for (OrderWalker w(space, order); !w.done(); w.next()) {
+    out.push_back(w.current());
+  }
+  return out;
+}
+
+TEST(IterationOrder, IdentityIsIdentity) {
+  const auto order = IterationOrder::identity(3);
+  EXPECT_TRUE(order.is_identity());
+  EXPECT_EQ(order.depth(), 3u);
+}
+
+TEST(IterationOrder, ValidateRejectsBadPermutation) {
+  const auto space = IterationSpace::from_extents({2, 2});
+  IterationOrder order;
+  order.permutation = {0, 0};
+  order.tile_sizes = {1, 1};
+  EXPECT_THROW(order.validate(space), mlsc::Error);
+  order.permutation = {0, 1};
+  order.tile_sizes = {0, 1};
+  EXPECT_THROW(order.validate(space), mlsc::Error);
+}
+
+TEST(OrderWalker, IdentityMatchesLexicographic) {
+  const auto space = IterationSpace::from_extents({3, 4});
+  const auto visited = walk_all(space, IterationOrder::identity(2));
+  ASSERT_EQ(visited.size(), space.size());
+  for (std::uint64_t rank = 0; rank < space.size(); ++rank) {
+    EXPECT_EQ(visited[rank], space.delinearize(rank));
+  }
+}
+
+TEST(OrderWalker, PermutationSwapsLoops) {
+  const auto space = IterationSpace::from_extents({2, 3});
+  IterationOrder order;
+  order.permutation = {1, 0};  // i1 outer, i0 inner
+  order.tile_sizes = {1, 1};
+  const auto visited = walk_all(space, order);
+  ASSERT_EQ(visited.size(), 6u);
+  EXPECT_EQ(visited[0], (Iteration{0, 0}));
+  EXPECT_EQ(visited[1], (Iteration{1, 0}));  // i0 varies fastest
+  EXPECT_EQ(visited[2], (Iteration{0, 1}));
+}
+
+TEST(OrderWalker, TiledTraversalOrder) {
+  const auto space = IterationSpace::from_extents({4, 4});
+  IterationOrder order = IterationOrder::identity(2);
+  order.tile_sizes = {2, 2};
+  const auto visited = walk_all(space, order);
+  ASSERT_EQ(visited.size(), 16u);
+  // First tile: (0,0) (0,1) (1,0) (1,1), then tile (0, 2..3).
+  EXPECT_EQ(visited[0], (Iteration{0, 0}));
+  EXPECT_EQ(visited[1], (Iteration{0, 1}));
+  EXPECT_EQ(visited[2], (Iteration{1, 0}));
+  EXPECT_EQ(visited[3], (Iteration{1, 1}));
+  EXPECT_EQ(visited[4], (Iteration{0, 2}));
+}
+
+TEST(OrderWalker, EdgeTilesCoverRemainder) {
+  const auto space = IterationSpace::from_extents({5, 3});
+  IterationOrder order = IterationOrder::identity(2);
+  order.tile_sizes = {2, 2};
+  const auto visited = walk_all(space, order);
+  EXPECT_EQ(visited.size(), 15u);
+}
+
+/// Property: every order visits each iteration exactly once.
+class OrderWalkerPermutationTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OrderWalkerPermutationTest, VisitsEveryIterationOnce) {
+  const auto [perm_code, tile] = GetParam();
+  const IterationSpace space({{1, 5}, {0, 3}, {2, 4}});
+  IterationOrder order;
+  switch (perm_code) {
+    case 0:
+      order.permutation = {0, 1, 2};
+      break;
+    case 1:
+      order.permutation = {2, 0, 1};
+      break;
+    default:
+      order.permutation = {1, 2, 0};
+      break;
+  }
+  order.tile_sizes = {static_cast<std::int64_t>(tile), 1,
+                      static_cast<std::int64_t>(tile)};
+
+  std::set<std::uint64_t> ranks;
+  std::uint64_t count = 0;
+  for (OrderWalker w(space, order); !w.done(); w.next()) {
+    EXPECT_EQ(w.position(), count);
+    ranks.insert(space.linearize(w.current()));
+    ++count;
+  }
+  EXPECT_EQ(count, space.size());
+  EXPECT_EQ(ranks.size(), space.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PermsAndTiles, OrderWalkerPermutationTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 7)));
+
+}  // namespace
+}  // namespace mlsc::poly

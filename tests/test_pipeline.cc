@@ -1,0 +1,105 @@
+// Integration tests for the MappingPipeline facade and client codegen.
+#include <gtest/gtest.h>
+
+#include "core/client_codegen.h"
+#include "core/pipeline.h"
+#include "support/check.h"
+#include "workloads/registry.h"
+
+namespace mlsc::core {
+namespace {
+
+topology::HierarchyTree small_tree() {
+  return topology::make_layered_hierarchy(8, 4, 2, 4 * kMiB, 4 * kMiB,
+                                          4 * kMiB);
+}
+
+/// Tiny workloads (size_factor shrinks elements 16x) keep these fast.
+workloads::Workload tiny(const std::string& name) {
+  return workloads::make_workload(name, 1.0 / 16.0);
+}
+
+class PipelineWorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineWorkloadTest, AllSchemesPartitionEveryWorkload) {
+  const auto workload = tiny(GetParam());
+  const auto tree = small_tree();
+  const DataSpace space(workload.program, 64 * kKiB);
+  for (const MapperKind kind :
+       {MapperKind::kOriginal, MapperKind::kIntraProcessor,
+        MapperKind::kInterProcessor}) {
+    PipelineOptions options;
+    options.mapper = kind;
+    MappingPipeline pipeline(tree, options);
+    const auto m = pipeline.run_all(workload.program, space);
+    m.validate_partition(workload.program);
+    EXPECT_EQ(m.kind, kind) << workload.name;
+    EXPECT_EQ(m.num_clients(), 8u);
+  }
+}
+
+TEST_P(PipelineWorkloadTest, ScheduledMappingStillPartitions) {
+  const auto workload = tiny(GetParam());
+  const auto tree = small_tree();
+  const DataSpace space(workload.program, 64 * kKiB);
+  PipelineOptions options;
+  options.schedule = true;
+  MappingPipeline pipeline(tree, options);
+  const auto m = pipeline.run_all(workload.program, space);
+  m.validate_partition(workload.program);
+  EXPECT_TRUE(m.scheduled);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PipelineWorkloadTest,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Pipeline, InterBalancesWithinThreshold) {
+  const auto workload = tiny("astro");
+  const auto tree = small_tree();
+  const DataSpace space(workload.program, 64 * kKiB);
+  PipelineOptions options;
+  options.balance_threshold = 0.10;
+  MappingPipeline pipeline(tree, options);
+  const auto m = pipeline.run_all(workload.program, space);
+  EXPECT_LE(m.imbalance(), 0.11);
+}
+
+TEST(Pipeline, RejectsEmptyNestList) {
+  const auto workload = tiny("hf");
+  const auto tree = small_tree();
+  const DataSpace space(workload.program, 64 * kKiB);
+  MappingPipeline pipeline(tree);
+  EXPECT_THROW(pipeline.run(workload.program, space, {}), mlsc::Error);
+}
+
+TEST(ClientCodegen, EmitsLoopsForEveryClient) {
+  const auto workload = tiny("sar");
+  const auto tree = small_tree();
+  const DataSpace space(workload.program, 64 * kKiB);
+  MappingPipeline pipeline(tree);
+  const auto m = pipeline.run_all(workload.program, space);
+  const auto source = emit_all_clients_source(workload.program, m);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_NE(source.find("// client " + std::to_string(c)),
+              std::string::npos);
+  }
+  EXPECT_NE(source.find("for (long i0"), std::string::npos);
+  EXPECT_NE(source.find("iteration chunk"), std::string::npos);
+}
+
+TEST(ClientCodegen, BaselineBlocksRenderOrders) {
+  const auto workload = tiny("sar");
+  const auto tree = small_tree();
+  const DataSpace space(workload.program, 64 * kKiB);
+  PipelineOptions options;
+  options.mapper = MapperKind::kOriginal;
+  MappingPipeline pipeline(tree, options);
+  const auto m = pipeline.run_all(workload.program, space);
+  const auto source = emit_client_source(workload.program, m, 0);
+  EXPECT_NE(source.find("block of nest"), std::string::npos);
+  EXPECT_NE(source.find("perm("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlsc::core

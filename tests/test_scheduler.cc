@@ -1,0 +1,141 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/mapper.h"
+#include "support/check.h"
+
+namespace mlsc::core {
+namespace {
+
+/// Builds an inter-processor-shaped mapping by hand: `per_client` chunk
+/// tag lists, one client per list, all in one I/O group tree.
+MappingResult handmade_mapping(
+    const std::vector<std::vector<std::vector<std::uint32_t>>>& per_client) {
+  MappingResult m;
+  m.kind = MapperKind::kInterProcessor;
+  m.mapper_name = "inter-processor";
+  std::uint64_t rank = 0;
+  for (const auto& client : per_client) {
+    m.client_work.emplace_back();
+    for (const auto& bits : client) {
+      IterationChunk chunk;
+      chunk.nest = 0;
+      chunk.tag = ChunkTag::from_bits(bits);
+      chunk.ranges = {poly::LinearRange{rank, rank + 10}};
+      chunk.iterations = 10;
+      rank += 10;
+      WorkItem item;
+      item.nest = 0;
+      item.ranges = chunk.ranges;
+      item.iterations = 10;
+      item.chunk = static_cast<std::int32_t>(m.chunk_table.size());
+      m.chunk_table.push_back(std::move(chunk));
+      m.client_work.back().push_back(std::move(item));
+    }
+  }
+  return m;
+}
+
+topology::HierarchyTree two_client_tree() {
+  return topology::make_layered_hierarchy(2, 1, 1, 64, 64, 64);
+}
+
+TEST(Scheduler, FirstClientStartsWithFewestBits) {
+  // Client 0 chunks: {0,1,2,3} (4 bits) and {9} (1 bit): the schedule
+  // must start with the 1-bit chunk (Fig. 15: "least number of 1 bits").
+  auto m = handmade_mapping({
+      {{0, 1, 2, 3}, {9}},
+      {{5}, {6}},
+  });
+  schedule_mapping(m, two_client_tree());
+  EXPECT_TRUE(m.scheduled);
+  EXPECT_EQ(m.client_work[0][0].chunk, 1);  // the {9} chunk
+}
+
+TEST(Scheduler, VerticalReuseOrdersByCommonBits) {
+  // Client 0: start {0}; then {0,1} shares 1 bit, {8,9} shares none —
+  // the β term must schedule {0,1} before {8,9}.
+  auto m = handmade_mapping({
+      {{0}, {8, 9}, {0, 1}},
+      {{5}},
+  });
+  schedule_mapping(m, two_client_tree(), {0.5, 0.5});
+  ASSERT_EQ(m.client_work[0].size(), 3u);
+  EXPECT_EQ(m.client_work[0][0].chunk, 0);  // {0}: fewest bits
+  EXPECT_EQ(m.client_work[0][1].chunk, 2);  // {0,1}: max reuse with {0}
+  EXPECT_EQ(m.client_work[0][2].chunk, 1);
+}
+
+TEST(Scheduler, HorizontalReuseAlignsNeighborClients) {
+  // Client 1's first chunk should maximize overlap with client 0's first
+  // scheduled chunk (the α term, Fig. 16's "left neighbor").
+  auto m = handmade_mapping({
+      {{3}},
+      {{7, 8}, {3, 4}},
+  });
+  schedule_mapping(m, two_client_tree(), {0.5, 0.5});
+  EXPECT_EQ(m.client_work[1][0].chunk, 2);  // {3,4} matches {3}
+}
+
+TEST(Scheduler, PreservesWorkSets) {
+  auto m = handmade_mapping({
+      {{0, 1}, {1, 2}, {2, 3}, {9}},
+      {{4, 5}, {5, 6}, {0, 9}},
+  });
+  std::vector<std::set<std::int32_t>> before;
+  for (const auto& work : m.client_work) {
+    std::set<std::int32_t> ids;
+    for (const auto& item : work) ids.insert(item.chunk);
+    before.push_back(std::move(ids));
+  }
+  schedule_mapping(m, two_client_tree());
+  for (std::size_t c = 0; c < m.client_work.size(); ++c) {
+    std::set<std::int32_t> after;
+    for (const auto& item : m.client_work[c]) after.insert(item.chunk);
+    EXPECT_EQ(after, before[c]) << "scheduling must only reorder";
+  }
+}
+
+TEST(Scheduler, BalancesIterationCountsCircularly) {
+  // Uneven chunk counts still schedule completely (the force-progress
+  // guard prevents round-robin stalls).
+  auto m = handmade_mapping({
+      {{0}, {1}, {2}, {3}, {4}, {5}},
+      {{7}},
+  });
+  schedule_mapping(m, two_client_tree());
+  EXPECT_EQ(m.client_work[0].size(), 6u);
+  EXPECT_EQ(m.client_work[1].size(), 1u);
+}
+
+TEST(Scheduler, Fig17FinalSchedule) {
+  // The paper's end-to-end example: after mapping, CN0 owns {γ2,γ4}, and
+  // the schedule within each client follows the reuse chain.  With two
+  // chunks per client the schedule must put the fewer-bit chunk first on
+  // the group's first client.
+  auto m = handmade_mapping({
+      {{0, 1, 3, 5}, {0, 3, 5, 7}},    // γ2, γ4 (CN0)
+      {{0, 5, 7, 9}, {0, 7, 9, 11}},   // γ6, γ8 (CN1)
+  });
+  schedule_mapping(m, two_client_tree());
+  // γ2 and γ4 both have 4 bits; the tie breaks to the first (γ2), then
+  // γ4 follows — matching Fig. 17's CN0: γ2, γ4.
+  EXPECT_EQ(m.client_work[0][0].chunk, 0);
+  EXPECT_EQ(m.client_work[0][1].chunk, 1);
+  EXPECT_EQ(m.client_work[1][0].chunk, 2);
+  EXPECT_EQ(m.client_work[1][1].chunk, 3);
+}
+
+TEST(Scheduler, RejectsBaselineMappings) {
+  MappingResult m;
+  m.kind = MapperKind::kOriginal;
+  m.client_work.resize(2);
+  EXPECT_THROW(schedule_mapping(m, two_client_tree()), mlsc::Error);
+}
+
+}  // namespace
+}  // namespace mlsc::core

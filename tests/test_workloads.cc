@@ -1,0 +1,93 @@
+#include "workloads/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "poly/dependence.h"
+#include "support/check.h"
+
+namespace mlsc::workloads {
+namespace {
+
+TEST(Registry, HasTheEightTable2Applications) {
+  const auto names = workload_names();
+  const std::vector<std::string> expected = {
+      "hf", "sar", "contour", "astro", "e_elem", "apsi", "madbench2",
+      "wupwise"};
+  EXPECT_EQ(names, expected);
+  EXPECT_THROW(make_workload("spice"), mlsc::Error);
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, ValidatesAndHasDiskScaleData) {
+  const auto w = make_workload(GetParam());
+  EXPECT_EQ(w.name, GetParam());
+  EXPECT_FALSE(w.program.nests.empty());
+  EXPECT_FALSE(w.program.arrays.empty());
+  // §5.1: data sets vary between 189.6 GB (sar) and 422.7 GB (wupwise);
+  // at the 1/64 scale that is 2.96 .. 6.6 GiB.
+  const double paper_gib =
+      static_cast<double>(w.simulated_data_bytes()) * 64.0 /
+      static_cast<double>(kGiB);
+  EXPECT_GE(paper_gib, 185.0) << w.name;
+  EXPECT_LE(paper_gib, 435.0) << w.name;
+  // Iteration counts stay simulation friendly.
+  EXPECT_GE(w.program.total_iterations(), 50'000u) << w.name;
+  EXPECT_LE(w.program.total_iterations(), 600'000u) << w.name;
+}
+
+TEST_P(WorkloadTest, SizeFactorScalesData) {
+  const auto full = make_workload(GetParam(), 1.0);
+  const auto half = make_workload(GetParam(), 0.5);
+  EXPECT_LT(half.simulated_data_bytes(), full.simulated_data_bytes());
+  EXPECT_EQ(half.program.total_iterations(),
+            full.program.total_iterations());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Workloads, SarHasTwoNests) {
+  const auto w = make_workload("sar");
+  EXPECT_EQ(w.program.nests.size(), 2u);
+}
+
+TEST(Workloads, SuiteBoundsMatchPaper) {
+  // sar is the smallest data set and wupwise the largest (§5.1).
+  std::uint64_t sar_bytes = make_workload("sar").simulated_data_bytes();
+  std::uint64_t wupwise_bytes =
+      make_workload("wupwise").simulated_data_bytes();
+  for (const auto& name : workload_names()) {
+    const auto bytes = make_workload(name).simulated_data_bytes();
+    EXPECT_GE(bytes, sar_bytes * 95 / 100) << name;
+    EXPECT_LE(bytes, wupwise_bytes * 105 / 100) << name;
+  }
+}
+
+TEST(Workloads, ApsiAndEElemCarryTimeDependences) {
+  for (const char* name : {"apsi", "e_elem"}) {
+    const auto w = make_workload(name);
+    const auto deps = poly::find_dependences(w.program.nest(0));
+    EXPECT_FALSE(deps.empty()) << name;
+    bool outer_carried = false;
+    for (const auto& dep : deps) {
+      const auto level = dep.carried_level();
+      if (level.has_value() && *level == 0) outer_carried = true;
+    }
+    EXPECT_TRUE(outer_carried) << name << " must have a sweep-carried dep";
+  }
+}
+
+TEST(Workloads, ParallelAppsAreDependenceFree) {
+  for (const char* name : {"hf", "contour", "astro", "madbench2"}) {
+    const auto w = make_workload(name);
+    for (const auto& nest : w.program.nests) {
+      EXPECT_TRUE(poly::find_dependences(nest).empty())
+          << name << "/" << nest.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlsc::workloads

@@ -1,0 +1,209 @@
+// mlsc_map — command-line driver for the mapping library.
+//
+// Maps a workload onto a configurable storage cache hierarchy with any
+// of the paper's schemes and reports miss rates, latencies, the mapping
+// itself, or the generated per-client code.
+//
+// Usage:
+//   mlsc_map [--workload NAME] [--scheme original|intra|inter|sched]
+//            [--clients N] [--io N] [--storage N]
+//            [--chunk BYTES] [--policy lru|fifo|clock|lfu|2q|mq]
+//            [--placement access|eviction|exclusive]
+//            [--balance FRACTION] [--alpha A] [--beta B]
+//            [--write-back] [--cooperative] [--readahead N]
+//            [--size-factor F] [--report stats|mapping|codegen|csv]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/client_codegen.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "support/string_util.h"
+#include "support/table.h"
+#include "workloads/irregular.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace mlsc;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --workload NAME     one of: " << join(workloads::workload_names(), ", ")
+      << ", irregular (default hf)\n"
+      << "  --scheme KIND       original | intra | inter | sched (default inter)\n"
+      << "  --clients/--io/--storage N   topology (default 64/32/16)\n"
+      << "  --chunk BYTES       data chunk size (default 65536)\n"
+      << "  --policy NAME       lru|fifo|clock|lfu|2q|mq (default lru)\n"
+      << "  --placement NAME    access|eviction|exclusive (default access)\n"
+      << "  --balance F         BThres fraction (default 0.10)\n"
+      << "  --alpha A --beta B  scheduler weights (default 0.5/0.5)\n"
+      << "  --write-back        model dirty write-back traffic\n"
+      << "  --cooperative       probe sibling client caches\n"
+      << "  --readahead N       disk readahead depth (default 0)\n"
+      << "  --size-factor F     workload data scale (default 1.0)\n"
+      << "  --report KIND       stats|full|compare|mapping|codegen|csv (default stats)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = "hf";
+  std::string scheme_name = "inter";
+  std::string report = "stats";
+  double size_factor = 1.0;
+  sim::MachineConfig machine = sim::MachineConfig::paper_default();
+  sim::SchemeSpec scheme = sim::SchemeSpec::inter();
+  double alpha = 0.5;
+  double beta = 0.5;
+
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--workload") {
+        workload_name = next_value(i);
+      } else if (arg == "--scheme") {
+        scheme_name = next_value(i);
+      } else if (arg == "--clients") {
+        machine.clients = std::stoul(next_value(i));
+      } else if (arg == "--io") {
+        machine.io_nodes = std::stoul(next_value(i));
+      } else if (arg == "--storage") {
+        machine.storage_nodes = std::stoul(next_value(i));
+      } else if (arg == "--chunk") {
+        machine.chunk_size_bytes = std::stoull(next_value(i));
+        machine.stripe_size_bytes = machine.chunk_size_bytes;
+      } else if (arg == "--policy") {
+        machine.policy = cache::parse_policy_kind(next_value(i));
+      } else if (arg == "--placement") {
+        const std::string mode = next_value(i);
+        if (mode == "access") {
+          machine.placement = cache::PlacementMode::kAccessBased;
+        } else if (mode == "eviction") {
+          machine.placement = cache::PlacementMode::kEvictionBased;
+        } else if (mode == "exclusive") {
+          machine.placement = cache::PlacementMode::kExclusive;
+        } else {
+          usage(argv[0]);
+        }
+      } else if (arg == "--balance") {
+        scheme.balance_threshold = std::stod(next_value(i));
+      } else if (arg == "--alpha") {
+        alpha = std::stod(next_value(i));
+      } else if (arg == "--beta") {
+        beta = std::stod(next_value(i));
+      } else if (arg == "--write-back") {
+        machine.write_back = true;
+      } else if (arg == "--cooperative") {
+        machine.cooperative_caching = true;
+      } else if (arg == "--readahead") {
+        machine.readahead_chunks =
+            static_cast<std::uint32_t>(std::stoul(next_value(i)));
+      } else if (arg == "--size-factor") {
+        size_factor = std::stod(next_value(i));
+      } else if (arg == "--report") {
+        report = next_value(i);
+      } else {
+        usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      usage(argv[0]);
+    }
+  }
+
+  if (scheme_name == "original") {
+    scheme.mapper = core::MapperKind::kOriginal;
+  } else if (scheme_name == "intra") {
+    scheme.mapper = core::MapperKind::kIntraProcessor;
+  } else if (scheme_name == "inter") {
+    scheme.mapper = core::MapperKind::kInterProcessor;
+  } else if (scheme_name == "sched") {
+    scheme.mapper = core::MapperKind::kInterProcessor;
+    scheme.schedule = true;
+    scheme.scheduler = {alpha, beta};
+  } else {
+    usage(argv[0]);
+  }
+
+  try {
+    const auto workload =
+        workload_name == "irregular"
+            ? workloads::make_irregular(size_factor)
+            : workloads::make_workload(workload_name, size_factor);
+
+    if (report == "mapping" || report == "codegen") {
+      const auto tree = machine.build_tree();
+      const core::DataSpace space(workload.program,
+                                  machine.chunk_size_bytes);
+      core::PipelineOptions options;
+      options.mapper = scheme.mapper;
+      options.schedule = scheme.schedule;
+      options.scheduler = scheme.scheduler;
+      options.balance_threshold = scheme.balance_threshold;
+      core::MappingPipeline pipeline(tree, options);
+      const auto mapping = pipeline.run_all(workload.program, space);
+      if (report == "codegen") {
+        std::cout << core::emit_all_clients_source(workload.program,
+                                                   mapping);
+      } else {
+        std::cout << "mapper: " << mapping.mapper_name << "\n"
+                  << "clients: " << mapping.num_clients() << "\n"
+                  << "iteration chunks: " << mapping.chunk_table.size()
+                  << "\n"
+                  << "sync edges: " << mapping.sync_edges.size() << "\n"
+                  << "imbalance: " << format_double(mapping.imbalance(), 4)
+                  << "\n";
+        for (std::size_t c = 0; c < mapping.num_clients(); ++c) {
+          std::cout << "  client " << c << ": "
+                    << mapping.client_work[c].size() << " items, "
+                    << mapping.client_iterations(c) << " iterations\n";
+        }
+      }
+      return 0;
+    }
+
+    if (report == "full") {
+      const auto r = sim::run_experiment(workload, scheme, machine);
+      sim::write_report(std::cout, r, machine);
+      return 0;
+    }
+    if (report == "compare") {
+      const auto results = sim::run_all_schemes(workload, machine);
+      sim::comparison_table(results).print(std::cout);
+      return 0;
+    }
+    const auto r = sim::run_experiment(workload, scheme, machine);
+    if (report == "csv") {
+      Table table({"workload", "scheme", "l1_miss", "l2_miss", "l3_miss",
+                   "disk_requests", "io_latency_ns", "exec_time_ns"});
+      table.add_row({r.workload, r.scheme, format_double(r.l1_miss_rate, 4),
+                     format_double(r.l2_miss_rate, 4),
+                     format_double(r.l3_miss_rate, 4),
+                     std::to_string(r.engine.disk_requests),
+                     std::to_string(r.io_latency),
+                     std::to_string(r.exec_time)});
+      table.print_csv(std::cout);
+    } else if (report == "stats") {
+      std::cout << "machine: " << machine.to_string() << "\n";
+      r.report(std::cout);
+      std::cout << "disk requests: " << r.engine.disk_requests
+                << ", write-backs: " << r.engine.disk_writebacks
+                << ", peer hits: " << r.engine.peer_hits
+                << ", prefetches: " << r.engine.prefetches
+                << ", sync edges: " << r.sync_edges << "\n";
+    } else {
+      usage(argv[0]);
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
