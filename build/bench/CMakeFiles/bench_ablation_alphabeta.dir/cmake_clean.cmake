@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alphabeta.dir/bench_ablation_alphabeta.cc.o"
+  "CMakeFiles/bench_ablation_alphabeta.dir/bench_ablation_alphabeta.cc.o.d"
+  "bench_ablation_alphabeta"
+  "bench_ablation_alphabeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alphabeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

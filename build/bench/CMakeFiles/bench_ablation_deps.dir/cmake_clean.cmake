@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deps.dir/bench_ablation_deps.cc.o"
+  "CMakeFiles/bench_ablation_deps.dir/bench_ablation_deps.cc.o.d"
+  "bench_ablation_deps"
+  "bench_ablation_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multinest.dir/bench_ablation_multinest.cc.o"
+  "CMakeFiles/bench_ablation_multinest.dir/bench_ablation_multinest.cc.o.d"
+  "bench_ablation_multinest"
+  "bench_ablation_multinest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multinest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

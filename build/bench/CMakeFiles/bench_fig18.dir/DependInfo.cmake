@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18.cc" "bench/CMakeFiles/bench_fig18.dir/bench_fig18.cc.o" "gcc" "bench/CMakeFiles/bench_fig18.dir/bench_fig18.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mlsc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mlsc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mlsc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mlsc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mlsc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/mlsc_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mlsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

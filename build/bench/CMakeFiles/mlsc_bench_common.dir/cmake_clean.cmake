@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_bench_common.dir/common.cc.o"
+  "CMakeFiles/mlsc_bench_common.dir/common.cc.o.d"
+  "libmlsc_bench_common.a"
+  "libmlsc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluegene_mapping.dir/bluegene_mapping.cpp.o"
+  "CMakeFiles/bluegene_mapping.dir/bluegene_mapping.cpp.o.d"
+  "bluegene_mapping"
+  "bluegene_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluegene_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/arc.cc" "src/cache/CMakeFiles/mlsc_cache.dir/arc.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/arc.cc.o.d"
+  "/root/repo/src/cache/clock.cc" "src/cache/CMakeFiles/mlsc_cache.dir/clock.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/clock.cc.o.d"
+  "/root/repo/src/cache/lfu.cc" "src/cache/CMakeFiles/mlsc_cache.dir/lfu.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/lfu.cc.o.d"
+  "/root/repo/src/cache/lru.cc" "src/cache/CMakeFiles/mlsc_cache.dir/lru.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/lru.cc.o.d"
+  "/root/repo/src/cache/mq.cc" "src/cache/CMakeFiles/mlsc_cache.dir/mq.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/mq.cc.o.d"
+  "/root/repo/src/cache/multilevel.cc" "src/cache/CMakeFiles/mlsc_cache.dir/multilevel.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/multilevel.cc.o.d"
+  "/root/repo/src/cache/policy.cc" "src/cache/CMakeFiles/mlsc_cache.dir/policy.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/policy.cc.o.d"
+  "/root/repo/src/cache/storage_cache.cc" "src/cache/CMakeFiles/mlsc_cache.dir/storage_cache.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/storage_cache.cc.o.d"
+  "/root/repo/src/cache/two_q.cc" "src/cache/CMakeFiles/mlsc_cache.dir/two_q.cc.o" "gcc" "src/cache/CMakeFiles/mlsc_cache.dir/two_q.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mlsc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

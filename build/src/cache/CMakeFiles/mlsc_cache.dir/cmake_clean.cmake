@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_cache.dir/arc.cc.o"
+  "CMakeFiles/mlsc_cache.dir/arc.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/clock.cc.o"
+  "CMakeFiles/mlsc_cache.dir/clock.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/lfu.cc.o"
+  "CMakeFiles/mlsc_cache.dir/lfu.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/lru.cc.o"
+  "CMakeFiles/mlsc_cache.dir/lru.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/mq.cc.o"
+  "CMakeFiles/mlsc_cache.dir/mq.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/multilevel.cc.o"
+  "CMakeFiles/mlsc_cache.dir/multilevel.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/policy.cc.o"
+  "CMakeFiles/mlsc_cache.dir/policy.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/storage_cache.cc.o"
+  "CMakeFiles/mlsc_cache.dir/storage_cache.cc.o.d"
+  "CMakeFiles/mlsc_cache.dir/two_q.cc.o"
+  "CMakeFiles/mlsc_cache.dir/two_q.cc.o.d"
+  "libmlsc_cache.a"
+  "libmlsc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/mlsc_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/client_codegen.cc" "src/core/CMakeFiles/mlsc_core.dir/client_codegen.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/client_codegen.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/mlsc_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/data_space.cc" "src/core/CMakeFiles/mlsc_core.dir/data_space.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/data_space.cc.o.d"
+  "/root/repo/src/core/dependences.cc" "src/core/CMakeFiles/mlsc_core.dir/dependences.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/dependences.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/mlsc_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/iteration_chunk.cc" "src/core/CMakeFiles/mlsc_core.dir/iteration_chunk.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/iteration_chunk.cc.o.d"
+  "/root/repo/src/core/load_balance.cc" "src/core/CMakeFiles/mlsc_core.dir/load_balance.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/load_balance.cc.o.d"
+  "/root/repo/src/core/mapper.cc" "src/core/CMakeFiles/mlsc_core.dir/mapper.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/mapper.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/core/CMakeFiles/mlsc_core.dir/mapping.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/mapping.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/mlsc_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/mlsc_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/tag.cc" "src/core/CMakeFiles/mlsc_core.dir/tag.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/tag.cc.o.d"
+  "/root/repo/src/core/tagging.cc" "src/core/CMakeFiles/mlsc_core.dir/tagging.cc.o" "gcc" "src/core/CMakeFiles/mlsc_core.dir/tagging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/mlsc_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mlsc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mlsc_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

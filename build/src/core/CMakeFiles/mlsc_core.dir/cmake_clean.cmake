@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_core.dir/baselines.cc.o"
+  "CMakeFiles/mlsc_core.dir/baselines.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/client_codegen.cc.o"
+  "CMakeFiles/mlsc_core.dir/client_codegen.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/clustering.cc.o"
+  "CMakeFiles/mlsc_core.dir/clustering.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/data_space.cc.o"
+  "CMakeFiles/mlsc_core.dir/data_space.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/dependences.cc.o"
+  "CMakeFiles/mlsc_core.dir/dependences.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/graph.cc.o"
+  "CMakeFiles/mlsc_core.dir/graph.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/iteration_chunk.cc.o"
+  "CMakeFiles/mlsc_core.dir/iteration_chunk.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/load_balance.cc.o"
+  "CMakeFiles/mlsc_core.dir/load_balance.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/mapper.cc.o"
+  "CMakeFiles/mlsc_core.dir/mapper.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/mapping.cc.o"
+  "CMakeFiles/mlsc_core.dir/mapping.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/pipeline.cc.o"
+  "CMakeFiles/mlsc_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/scheduler.cc.o"
+  "CMakeFiles/mlsc_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/tag.cc.o"
+  "CMakeFiles/mlsc_core.dir/tag.cc.o.d"
+  "CMakeFiles/mlsc_core.dir/tagging.cc.o"
+  "CMakeFiles/mlsc_core.dir/tagging.cc.o.d"
+  "libmlsc_core.a"
+  "libmlsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

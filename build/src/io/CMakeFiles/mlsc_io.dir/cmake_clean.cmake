@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_io.dir/disk.cc.o"
+  "CMakeFiles/mlsc_io.dir/disk.cc.o.d"
+  "CMakeFiles/mlsc_io.dir/network.cc.o"
+  "CMakeFiles/mlsc_io.dir/network.cc.o.d"
+  "libmlsc_io.a"
+  "libmlsc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/affine.cc" "src/poly/CMakeFiles/mlsc_poly.dir/affine.cc.o" "gcc" "src/poly/CMakeFiles/mlsc_poly.dir/affine.cc.o.d"
+  "/root/repo/src/poly/codegen.cc" "src/poly/CMakeFiles/mlsc_poly.dir/codegen.cc.o" "gcc" "src/poly/CMakeFiles/mlsc_poly.dir/codegen.cc.o.d"
+  "/root/repo/src/poly/dependence.cc" "src/poly/CMakeFiles/mlsc_poly.dir/dependence.cc.o" "gcc" "src/poly/CMakeFiles/mlsc_poly.dir/dependence.cc.o.d"
+  "/root/repo/src/poly/integer_set.cc" "src/poly/CMakeFiles/mlsc_poly.dir/integer_set.cc.o" "gcc" "src/poly/CMakeFiles/mlsc_poly.dir/integer_set.cc.o.d"
+  "/root/repo/src/poly/iteration_space.cc" "src/poly/CMakeFiles/mlsc_poly.dir/iteration_space.cc.o" "gcc" "src/poly/CMakeFiles/mlsc_poly.dir/iteration_space.cc.o.d"
+  "/root/repo/src/poly/loop_nest.cc" "src/poly/CMakeFiles/mlsc_poly.dir/loop_nest.cc.o" "gcc" "src/poly/CMakeFiles/mlsc_poly.dir/loop_nest.cc.o.d"
+  "/root/repo/src/poly/order.cc" "src/poly/CMakeFiles/mlsc_poly.dir/order.cc.o" "gcc" "src/poly/CMakeFiles/mlsc_poly.dir/order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_poly.dir/affine.cc.o"
+  "CMakeFiles/mlsc_poly.dir/affine.cc.o.d"
+  "CMakeFiles/mlsc_poly.dir/codegen.cc.o"
+  "CMakeFiles/mlsc_poly.dir/codegen.cc.o.d"
+  "CMakeFiles/mlsc_poly.dir/dependence.cc.o"
+  "CMakeFiles/mlsc_poly.dir/dependence.cc.o.d"
+  "CMakeFiles/mlsc_poly.dir/integer_set.cc.o"
+  "CMakeFiles/mlsc_poly.dir/integer_set.cc.o.d"
+  "CMakeFiles/mlsc_poly.dir/iteration_space.cc.o"
+  "CMakeFiles/mlsc_poly.dir/iteration_space.cc.o.d"
+  "CMakeFiles/mlsc_poly.dir/loop_nest.cc.o"
+  "CMakeFiles/mlsc_poly.dir/loop_nest.cc.o.d"
+  "CMakeFiles/mlsc_poly.dir/order.cc.o"
+  "CMakeFiles/mlsc_poly.dir/order.cc.o.d"
+  "libmlsc_poly.a"
+  "libmlsc_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

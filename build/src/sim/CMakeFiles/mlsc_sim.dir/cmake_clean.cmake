@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_sim.dir/engine.cc.o"
+  "CMakeFiles/mlsc_sim.dir/engine.cc.o.d"
+  "CMakeFiles/mlsc_sim.dir/experiment.cc.o"
+  "CMakeFiles/mlsc_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/mlsc_sim.dir/machine.cc.o"
+  "CMakeFiles/mlsc_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mlsc_sim.dir/report.cc.o"
+  "CMakeFiles/mlsc_sim.dir/report.cc.o.d"
+  "CMakeFiles/mlsc_sim.dir/trace.cc.o"
+  "CMakeFiles/mlsc_sim.dir/trace.cc.o.d"
+  "libmlsc_sim.a"
+  "libmlsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/check.cc" "src/support/CMakeFiles/mlsc_support.dir/check.cc.o" "gcc" "src/support/CMakeFiles/mlsc_support.dir/check.cc.o.d"
+  "/root/repo/src/support/dynamic_bitset.cc" "src/support/CMakeFiles/mlsc_support.dir/dynamic_bitset.cc.o" "gcc" "src/support/CMakeFiles/mlsc_support.dir/dynamic_bitset.cc.o.d"
+  "/root/repo/src/support/log.cc" "src/support/CMakeFiles/mlsc_support.dir/log.cc.o" "gcc" "src/support/CMakeFiles/mlsc_support.dir/log.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/mlsc_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/mlsc_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/string_util.cc" "src/support/CMakeFiles/mlsc_support.dir/string_util.cc.o" "gcc" "src/support/CMakeFiles/mlsc_support.dir/string_util.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/support/CMakeFiles/mlsc_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/mlsc_support.dir/table.cc.o.d"
+  "/root/repo/src/support/units.cc" "src/support/CMakeFiles/mlsc_support.dir/units.cc.o" "gcc" "src/support/CMakeFiles/mlsc_support.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_support.dir/check.cc.o"
+  "CMakeFiles/mlsc_support.dir/check.cc.o.d"
+  "CMakeFiles/mlsc_support.dir/dynamic_bitset.cc.o"
+  "CMakeFiles/mlsc_support.dir/dynamic_bitset.cc.o.d"
+  "CMakeFiles/mlsc_support.dir/log.cc.o"
+  "CMakeFiles/mlsc_support.dir/log.cc.o.d"
+  "CMakeFiles/mlsc_support.dir/stats.cc.o"
+  "CMakeFiles/mlsc_support.dir/stats.cc.o.d"
+  "CMakeFiles/mlsc_support.dir/string_util.cc.o"
+  "CMakeFiles/mlsc_support.dir/string_util.cc.o.d"
+  "CMakeFiles/mlsc_support.dir/table.cc.o"
+  "CMakeFiles/mlsc_support.dir/table.cc.o.d"
+  "CMakeFiles/mlsc_support.dir/units.cc.o"
+  "CMakeFiles/mlsc_support.dir/units.cc.o.d"
+  "libmlsc_support.a"
+  "libmlsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

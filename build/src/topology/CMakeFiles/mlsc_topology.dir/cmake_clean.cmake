@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_topology.dir/hierarchy.cc.o"
+  "CMakeFiles/mlsc_topology.dir/hierarchy.cc.o.d"
+  "libmlsc_topology.a"
+  "libmlsc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apsi.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/apsi.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/apsi.cc.o.d"
+  "/root/repo/src/workloads/astro.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/astro.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/astro.cc.o.d"
+  "/root/repo/src/workloads/contour.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/contour.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/contour.cc.o.d"
+  "/root/repo/src/workloads/e_elem.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/e_elem.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/e_elem.cc.o.d"
+  "/root/repo/src/workloads/hf.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/hf.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/hf.cc.o.d"
+  "/root/repo/src/workloads/irregular.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/irregular.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/irregular.cc.o.d"
+  "/root/repo/src/workloads/madbench2.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/madbench2.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/madbench2.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/sar.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/sar.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/sar.cc.o.d"
+  "/root/repo/src/workloads/wupwise.cc" "src/workloads/CMakeFiles/mlsc_workloads.dir/wupwise.cc.o" "gcc" "src/workloads/CMakeFiles/mlsc_workloads.dir/wupwise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/mlsc_poly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

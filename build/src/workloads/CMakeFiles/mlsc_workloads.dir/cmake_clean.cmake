@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_workloads.dir/apsi.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/apsi.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/astro.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/astro.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/contour.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/contour.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/e_elem.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/e_elem.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/hf.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/hf.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/irregular.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/irregular.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/madbench2.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/madbench2.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/registry.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/sar.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/sar.cc.o.d"
+  "CMakeFiles/mlsc_workloads.dir/wupwise.cc.o"
+  "CMakeFiles/mlsc_workloads.dir/wupwise.cc.o.d"
+  "libmlsc_workloads.a"
+  "libmlsc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_space.dir/test_data_space.cc.o"
+  "CMakeFiles/test_data_space.dir/test_data_space.cc.o.d"
+  "test_data_space"
+  "test_data_space.pdb"
+  "test_data_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

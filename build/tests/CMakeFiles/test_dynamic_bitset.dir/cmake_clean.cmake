@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_bitset.dir/test_dynamic_bitset.cc.o"
+  "CMakeFiles/test_dynamic_bitset.dir/test_dynamic_bitset.cc.o.d"
+  "test_dynamic_bitset"
+  "test_dynamic_bitset.pdb"
+  "test_dynamic_bitset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_bitset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

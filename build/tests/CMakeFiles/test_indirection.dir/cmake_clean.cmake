@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indirection.dir/test_indirection.cc.o"
+  "CMakeFiles/test_indirection.dir/test_indirection.cc.o.d"
+  "test_indirection"
+  "test_indirection.pdb"
+  "test_indirection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integer_set.dir/test_integer_set.cc.o"
+  "CMakeFiles/test_integer_set.dir/test_integer_set.cc.o.d"
+  "test_integer_set"
+  "test_integer_set.pdb"
+  "test_integer_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integer_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

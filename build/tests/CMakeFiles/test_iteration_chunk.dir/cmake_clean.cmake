@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iteration_chunk.dir/test_iteration_chunk.cc.o"
+  "CMakeFiles/test_iteration_chunk.dir/test_iteration_chunk.cc.o.d"
+  "test_iteration_chunk"
+  "test_iteration_chunk.pdb"
+  "test_iteration_chunk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iteration_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop_nest.dir/test_loop_nest.cc.o"
+  "CMakeFiles/test_loop_nest.dir/test_loop_nest.cc.o.d"
+  "test_loop_nest"
+  "test_loop_nest.pdb"
+  "test_loop_nest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop_nest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

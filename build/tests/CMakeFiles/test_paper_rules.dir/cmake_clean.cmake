@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_rules.dir/test_paper_rules.cc.o"
+  "CMakeFiles/test_paper_rules.dir/test_paper_rules.cc.o.d"
+  "test_paper_rules"
+  "test_paper_rules.pdb"
+  "test_paper_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tagging.dir/test_tagging.cc.o"
+  "CMakeFiles/test_tagging.dir/test_tagging.cc.o.d"
+  "test_tagging"
+  "test_tagging.pdb"
+  "test_tagging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

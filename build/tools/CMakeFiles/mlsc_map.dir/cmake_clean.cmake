@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsc_map.dir/mlsc_map.cc.o"
+  "CMakeFiles/mlsc_map.dir/mlsc_map.cc.o.d"
+  "mlsc_map"
+  "mlsc_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsc_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
