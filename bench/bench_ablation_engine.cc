@@ -9,7 +9,8 @@
 // bench measures that claim.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   bench::print_header(
       "Ablation: storage-stack mechanisms vs mapping (normalized to the "

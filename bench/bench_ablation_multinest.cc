@@ -60,7 +60,8 @@ mlsc::sim::ExperimentResult run_isolated(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   const auto machine = sim::MachineConfig::paper_default();
   bench::print_header(

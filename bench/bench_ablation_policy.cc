@@ -4,7 +4,8 @@
 // three placement modes.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   bench::print_header(
       "Ablation: replacement policy and placement mode (inter vs original)",

@@ -5,7 +5,8 @@
 // 26.3% (inter); execution time improvements of 3.5% and 18.9%.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   const auto machine = sim::MachineConfig::paper_default();
   bench::print_header(

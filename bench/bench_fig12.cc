@@ -7,7 +7,8 @@
 // (128,32,16) configuration is the most favourable.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   // (w, x, y) node counts as in the paper's bar chart.
   const std::vector<std::array<std::size_t, 3>> topologies = {

@@ -7,7 +7,8 @@
 // (the (1GB,1GB,1GB) point) boosts the approach.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   // Per-node capacities, at the paper's scale (we divide by 64).
   struct Config {

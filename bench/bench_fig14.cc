@@ -8,7 +8,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   const std::vector<std::uint64_t> chunk_sizes = {
       16 * kKiB, 32 * kKiB, 64 * kKiB, 128 * kKiB};

@@ -6,7 +6,8 @@
 // 27.8% and the I/O / execution improvements to 30.7% / 21.9%.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   const auto machine = sim::MachineConfig::paper_default();
   bench::print_header(

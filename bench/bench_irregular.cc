@@ -9,7 +9,8 @@
 #include "bench/common.h"
 #include "workloads/irregular.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   const auto machine = sim::MachineConfig::paper_default();
   bench::print_header(

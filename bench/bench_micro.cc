@@ -1,7 +1,12 @@
 // Microbenchmarks (google-benchmark) for the library's hot paths: tag
 // operations, cache policy cores, the clustering stage and tagging.
+//
+// Supports the shared bench flag --json=<path> (written in the same
+// format as the table/figure binaries) alongside the usual
+// --benchmark_* flags.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "cache/policy.h"
 #include "core/clustering.h"
 #include "core/data_space.h"
@@ -96,6 +101,48 @@ void BM_ClusteringMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusteringMerge)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
+// Console reporting plus a Table mirror of every run, so --json emits the
+// shared bench JSON format instead of google-benchmark's own.
+class TableReporter : public benchmark::ConsoleReporter {
+ public:
+  TableReporter()
+      : table_({"name", "iterations", "real_time", "cpu_time", "time_unit"}) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      table_.add_row({run.benchmark_name(), std::to_string(run.iterations),
+                      format_double(run.GetAdjustedRealTime(), 3),
+                      format_double(run.GetAdjustedCPUTime(), 3),
+                      benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const Table& table() const { return table_; }
+
+ private:
+  Table table_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
+  // Strip the shared flags before handing argv to google-benchmark, which
+  // rejects arguments it does not recognize.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--json=", 0) == 0) continue;
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  TableReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  mlsc::bench::queue_json_table(reporter.table(), "bench_micro");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,7 +3,8 @@
 // under the Table 1 default parameters.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mlsc::bench::parse_common_flags(argc, argv);
   using namespace mlsc;
   const auto machine = sim::MachineConfig::paper_default();
   bench::print_header("Table 2: application programs, original version",

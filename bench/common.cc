@@ -1,11 +1,71 @@
 #include "bench/common.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <utility>
 
+#include "support/check.h"
 #include "support/string_util.h"
 #include "support/units.h"
 
 namespace mlsc::bench {
+
+namespace {
+
+struct JsonState {
+  std::string binary;
+  std::string path;
+  std::vector<std::pair<std::string, Table>> tables;
+  bool written = false;
+};
+
+JsonState& json_state() {
+  static JsonState state;
+  return state;
+}
+
+}  // namespace
+
+void parse_common_flags(int argc, char** argv) {
+  JsonState& state = json_state();
+  if (argc > 0) {
+    state.binary = argv[0];
+    const std::size_t slash = state.binary.find_last_of('/');
+    if (slash != std::string::npos) state.binary = state.binary.substr(slash + 1);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      state.path = arg.substr(std::string("--json=").size());
+      if (state.path.empty()) {
+        std::cerr << "error: --json needs a path: --json=<path>\n";
+        std::exit(2);
+      }
+    }
+  }
+  if (!state.path.empty()) std::atexit(write_json_output);
+}
+
+const std::string& json_output_path() { return json_state().path; }
+
+void write_json_output() {
+  JsonState& state = json_state();
+  if (state.path.empty() || state.written) return;
+  std::ofstream out(state.path);
+  if (!out) {
+    std::cerr << "[bench] cannot open " << state.path << " for writing\n";
+    return;
+  }
+  out << "{\"binary\": \"" << state.binary << "\", \"tables\": [";
+  for (std::size_t i = 0; i < state.tables.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\n  ";
+    state.tables[i].second.print_json(out, state.tables[i].first);
+  }
+  out << "\n]}\n";
+  state.written = true;
+  std::cerr << "[bench] wrote " << state.path << "\n";
+}
 
 std::vector<std::string> bench_apps(const std::vector<std::string>& defaults) {
   std::vector<std::string> base =
@@ -37,13 +97,19 @@ void print_header(const std::string& title,
                "values\n\n";
 }
 
-void print_table(const Table& table) {
+void print_table(const Table& table, const std::string& title) {
   table.print(std::cout);
   if (csv_requested()) {
     std::cout << "\n[csv]\n";
     table.print_csv(std::cout);
   }
   std::cout << "\n";
+  queue_json_table(table, title);
+}
+
+void queue_json_table(const Table& table, const std::string& title) {
+  JsonState& state = json_state();
+  if (!state.path.empty()) state.tables.emplace_back(title, table);
 }
 
 sim::ExperimentResult run(const workloads::Workload& workload,

@@ -6,6 +6,9 @@
 // version where the paper normalizes.  Environment knobs:
 //   MLSC_BENCH_APPS=hf,sar,...   restrict the application list
 //   MLSC_BENCH_CSV=1             additionally print CSV blocks
+// Command-line flags (parse_common_flags):
+//   --json=<path>   also write every printed table to <path> as one JSON
+//                   document (same format across all bench binaries)
 #pragma once
 
 #include <iostream>
@@ -27,12 +30,30 @@ std::vector<std::string> bench_apps(
 /// True when CSV output was requested.
 bool csv_requested();
 
+/// Parses the flags shared by every bench binary (currently --json=<path>).
+/// Unknown arguments are left alone for the binary to interpret.  When
+/// --json is given, every table passed to print_table is collected and the
+/// whole set is written to <path> on exit (or via write_json_output).
+void parse_common_flags(int argc, char** argv);
+
+/// Path given via --json=<path>, or "" when JSON output was not requested.
+const std::string& json_output_path();
+
+/// Writes the collected tables to the --json path now (no-op without
+/// --json; also runs automatically at exit).
+void write_json_output();
+
+/// Queues a table for the JSON document without printing it (no-op when
+/// --json was not given).  print_table does this automatically.
+void queue_json_table(const Table& table, const std::string& title = "");
+
 /// Prints the standard header: paper reference, machine description, and
 /// the simulated scale note.
 void print_header(const std::string& title, const sim::MachineConfig& config);
 
-/// Prints a table, plus its CSV form when requested.
-void print_table(const Table& table);
+/// Prints a table, plus its CSV form when requested; with --json the table
+/// is also queued for the JSON document under `title`.
+void print_table(const Table& table, const std::string& title = "");
 
 /// Runs one experiment, with a progress note on stderr.
 sim::ExperimentResult run(const workloads::Workload& workload,

@@ -88,7 +88,8 @@ struct MergeCandidate {
   }
 };
 
-void merge_to_count(std::vector<Cluster>& clusters, std::size_t target) {
+void merge_to_count(std::vector<Cluster>& clusters, std::size_t target,
+                    ThreadPool* pool) {
   const std::size_t n = clusters.size();
   std::vector<bool> alive(n, true);
   std::vector<std::uint32_t> version(n, 0);
@@ -145,10 +146,64 @@ void merge_to_count(std::vector<Cluster>& clusters, std::size_t target) {
       acc[b] = 0;
     }
   };
-  for (std::uint32_t a = 0; a < n; ++a) {
-    push_candidates(a);
-    index_cluster(a);
+  if (pool != nullptr && pool->num_threads() > 1 && n >= 256) {
+    // Parallel initial scoring: index every cluster first (read-only
+    // thereafter), then score each cluster a against the indexed b < a
+    // concurrently.  The candidates per a land in per-a slots and are
+    // pushed in a order, so the heap receives exactly the multiset the
+    // serial interleaved loop builds — and the candidate comparator is a
+    // total order, so the merge sequence is bit-identical.
+    for (std::uint32_t a = 0; a < n; ++a) index_cluster(a);
+    std::vector<std::vector<MergeCandidate>> initial(n);
+    pool->parallel_for(
+        0, n, pool->default_grain(n), [&](std::size_t lo, std::size_t hi) {
+          thread_local std::vector<std::uint64_t> local_acc;
+          thread_local std::vector<std::uint32_t> local_touched;
+          if (local_acc.size() < n) local_acc.resize(n, 0);
+          for (std::size_t a = lo; a < hi; ++a) {
+            local_touched.clear();
+            for (const auto& tag_entry : clusters[a].tag.entries()) {
+              const auto it = bit_index.find(tag_entry.pos);
+              if (it == bit_index.end()) continue;
+              const std::uint64_t ca = tag_entry.count;
+              for (const IndexEntry& e : it->second) {
+                if (e.cluster >= a) break;  // entries are id-ascending
+                if (local_acc[e.cluster] == 0) {
+                  local_touched.push_back(e.cluster);
+                }
+                local_acc[e.cluster] += ca * e.count;
+              }
+            }
+            for (std::uint32_t b : local_touched) {
+              const double denom =
+                  static_cast<double>(clusters[a].members.size()) *
+                  static_cast<double>(clusters[b].members.size());
+              initial[a].push_back(MergeCandidate{
+                  static_cast<double>(local_acc[b]) / denom, b,
+                  static_cast<std::uint32_t>(a), 0, 0});
+              local_acc[b] = 0;  // keep the scratch all-zero between rows
+            }
+          }
+        });
+    for (auto& list : initial) {
+      for (const MergeCandidate& c : list) heap.push(c);
+    }
+  } else {
+    for (std::uint32_t a = 0; a < n; ++a) {
+      push_candidates(a);
+      index_cluster(a);
+    }
   }
+
+  // Zero-sharing fallback order, built lazily the first time the heap
+  // runs dry.  Every alive pair with a nonzero dot always has a valid
+  // heap entry (init scores all pairs; each merge re-scores the merged
+  // cluster), so an empty heap means *no* alive pair shares data — and
+  // since dots are bilinear, merging zero-dot clusters keeps every dot
+  // zero.  The fallback list can therefore be maintained incrementally
+  // instead of re-sorted per merge: it stays sorted by order_key because
+  // the merged cluster keeps the smaller key of the adjacent pair.
+  std::vector<std::uint32_t> fallback_ids;
 
   std::size_t alive_count = n;
   while (alive_count > target) {
@@ -164,33 +219,37 @@ void merge_to_count(std::vector<Cluster>& clusters, std::size_t target) {
         break;
       }
     }
+    std::size_t fallback_pos = 0;
     if (!found) {
-      // All remaining pairs share no data (the heap only carried stale
-      // entries).  With zero sharing, cache behaviour is indifferent to
-      // the grouping, but disk behaviour is not: merge the rank-adjacent
-      // pair with the smallest combined size, which keeps the mapping
-      // close to the sequential order (sequential on disk) and balanced.
-      std::vector<std::uint32_t> alive_ids;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (alive[i]) alive_ids.push_back(i);
+      // All remaining pairs share no data.  With zero sharing, cache
+      // behaviour is indifferent to the grouping, but disk behaviour is
+      // not: merge the rank-adjacent pair with the smallest combined
+      // size, which keeps the mapping close to the sequential order
+      // (sequential on disk) and balanced.
+      if (fallback_ids.empty()) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (alive[i]) fallback_ids.push_back(i);
+        }
+        std::sort(fallback_ids.begin(), fallback_ids.end(),
+                  [&](std::uint32_t x, std::uint32_t y) {
+                    return clusters[x].order_key < clusters[y].order_key;
+                  });
       }
-      MLSC_CHECK(alive_ids.size() >= 2, "fewer than two clusters alive");
-      std::sort(alive_ids.begin(), alive_ids.end(),
-                [&](std::uint32_t x, std::uint32_t y) {
-                  return clusters[x].order_key < clusters[y].order_key;
-                });
-      std::size_t best_pos = 0;
+      MLSC_CHECK(fallback_ids.size() >= 2, "fewer than two clusters alive");
       std::uint64_t best_size = UINT64_MAX;
-      for (std::size_t p = 0; p + 1 < alive_ids.size(); ++p) {
-        const std::uint64_t combined = clusters[alive_ids[p]].iterations +
-                                       clusters[alive_ids[p + 1]].iterations;
+      for (std::size_t p = 0; p + 1 < fallback_ids.size(); ++p) {
+        const std::uint64_t combined =
+            clusters[fallback_ids[p]].iterations +
+            clusters[fallback_ids[p + 1]].iterations;
         if (combined < best_size) {
           best_size = combined;
-          best_pos = p;
+          fallback_pos = p;
         }
       }
-      best.a = std::min(alive_ids[best_pos], alive_ids[best_pos + 1]);
-      best.b = std::max(alive_ids[best_pos], alive_ids[best_pos + 1]);
+      best.a = std::min(fallback_ids[fallback_pos],
+                        fallback_ids[fallback_pos + 1]);
+      best.b = std::max(fallback_ids[fallback_pos],
+                        fallback_ids[fallback_pos + 1]);
     }
 
     clusters[best.a].absorb(std::move(clusters[best.b]));
@@ -199,6 +258,14 @@ void merge_to_count(std::vector<Cluster>& clusters, std::size_t target) {
     --alive_count;
 
     if (alive_count <= target) break;
+    if (!found) {
+      // The merged cluster takes the pair's slot (its order_key is the
+      // pair's minimum, i.e. the key already at fallback_pos).  No
+      // re-scoring: the heap is permanently dry in fallback mode.
+      fallback_ids[fallback_pos] = best.a;
+      fallback_ids.erase(fallback_ids.begin() + fallback_pos + 1);
+      continue;
+    }
     push_candidates(best.a);  // uses the merged tag's counts
     index_cluster(best.a);    // re-index under the new version
   }
@@ -252,12 +319,13 @@ std::pair<Cluster, Cluster> split_cluster(Cluster cluster,
 }  // namespace
 
 void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
-                      std::vector<IterationChunk>& chunks) {
+                      std::vector<IterationChunk>& chunks,
+                      ThreadPool* pool) {
   MLSC_CHECK(target >= 1, "target cluster count must be at least 1");
   MLSC_CHECK(!clusters.empty(), "cannot cluster an empty set");
 
   if (clusters.size() > target) {
-    merge_to_count(clusters, target);
+    merge_to_count(clusters, target, pool);
   }
   while (clusters.size() < target) {
     // Select the largest cluster (by iterations) and break it in two.

@@ -9,6 +9,7 @@
 
 #include "core/iteration_chunk.h"
 #include "core/tag.h"
+#include "support/thread_pool.h"
 
 namespace mlsc::core {
 
@@ -47,7 +48,16 @@ std::vector<Cluster> make_singletons(
 ///     by members when it has several, by splitting the underlying
 ///     iteration chunk (appending to `chunks`) when it has one.
 /// `chunks` may grow; all member indices remain valid.
+///
+/// Cluster tags and pairwise dot products are maintained incrementally
+/// across merges (inverted data-chunk index + max-heap with lazy
+/// invalidation), so the greedy merge costs O(k^2 log k) word-ops rather
+/// than rescoring every pair per merge.  When `pool` is non-null the
+/// initial O(k^2)-pair scoring fans out across threads; the candidate
+/// ordering is a total order, so the merge sequence — and hence the
+/// result — is bit-identical to the serial run.
 void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
-                      std::vector<IterationChunk>& chunks);
+                      std::vector<IterationChunk>& chunks,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace mlsc::core

@@ -1,61 +1,191 @@
 #include "core/graph.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/check.h"
+#include "support/dynamic_bitset.h"
 
 namespace mlsc::core {
 
-ChunkGraph::ChunkGraph(const std::vector<IterationChunk>& chunks)
+namespace {
+
+/// One nonzero entry found by the sweep: (b, weight) with b > row.
+struct RowHit {
+  std::uint32_t b;
+  std::uint64_t weight;
+};
+
+}  // namespace
+
+ChunkGraph::ChunkGraph(const std::vector<IterationChunk>& chunks,
+                       const GraphOptions& options)
     : num_nodes_(chunks.size()) {
-  MLSC_CHECK(num_nodes_ <= 8192,
-             "similarity graph limited to 8192 nodes (got " << num_nodes_
-                                                            << ")");
-  weights_.assign(num_nodes_ * (num_nodes_ + 1) / 2, 0);
-  for (std::uint32_t a = 0; a < num_nodes_; ++a) {
-    for (std::uint32_t b = a + 1; b < num_nodes_; ++b) {
-      const std::uint64_t w = chunks[a].tag.common_bits(chunks[b].tag);
-      weights_[edge_index(a, b)] = w;
-      if (w > 0) edges_.push_back(GraphEdge{a, b, w});
+  MLSC_CHECK(num_nodes_ <= options.max_nodes,
+             "similarity graph limited to " << options.max_nodes
+                                            << " nodes (got " << num_nodes_
+                                            << ")");
+  const std::uint32_t n = static_cast<std::uint32_t>(num_nodes_);
+  if (n == 0) {
+    row_offsets_.assign(1, 0);
+    return;
+  }
+
+  // Width r = max set bit + 1; dense bitsets beat the sparse merge when
+  // the width is modest, because and_count is an unrolled word loop.
+  std::size_t width = 0;
+  for (const auto& chunk : chunks) {
+    if (!chunk.tag.bits().empty()) {
+      width = std::max<std::size_t>(width, chunk.tag.bits().back() + 1);
+    }
+  }
+  const bool use_bitsets = width > 0 && width <= options.bitset_width_limit;
+  std::vector<DynamicBitset> dense;
+  if (use_bitsets) {
+    dense.resize(n);
+    auto build = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t v = lo; v < hi; ++v) {
+        dense[v] = chunks[v].tag.to_bitset(width);
+      }
+    };
+    if (options.pool != nullptr) {
+      options.pool->parallel_for(0, n, options.pool->default_grain(n), build);
+    } else {
+      build(0, n);
+    }
+  }
+
+  // Pairwise sweep, row-partitioned over the upper triangle.  Rows are
+  // independent and their outputs land in per-row slots, so the parallel
+  // and serial sweeps produce identical structure.
+  std::vector<std::vector<RowHit>> rows(n);
+  auto sweep_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t a = lo; a < hi; ++a) {
+      auto& row = rows[a];
+      for (std::uint32_t b = static_cast<std::uint32_t>(a) + 1; b < n; ++b) {
+        const std::uint64_t w =
+            use_bitsets ? dense[a].and_count(dense[b])
+                        : chunks[a].tag.common_bits(chunks[b].tag);
+        if (w > 0) row.push_back(RowHit{b, w});
+      }
+    }
+  };
+  if (options.pool != nullptr && n >= 64) {
+    // Small grain: row a costs O(n - a), so late chunks are cheap and
+    // dynamic claiming evens the triangle out.
+    const std::size_t grain =
+        std::max<std::size_t>(1, n / (options.pool->num_threads() * 8));
+    options.pool->parallel_for(0, n, grain, sweep_rows);
+  } else {
+    sweep_rows(0, n);
+  }
+
+  // Freeze into edges_ ((a < b) lexicographic) and the symmetric CSR.
+  std::vector<std::size_t> degree(n, 0);
+  std::size_t num_edges = 0;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    degree[a] += rows[a].size();
+    for (const RowHit& hit : rows[a]) ++degree[hit.b];
+    num_edges += rows[a].size();
+  }
+  MLSC_CHECK(num_edges <= std::numeric_limits<std::uint32_t>::max(),
+             "similarity graph exceeds 2^32 edges");
+  edges_.reserve(num_edges);
+  row_offsets_.assign(n + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    row_offsets_[v + 1] = row_offsets_[v] + degree[v];
+  }
+  col_.resize(2 * num_edges);
+  weight_.resize(2 * num_edges);
+  edge_id_.resize(2 * num_edges);
+
+  std::vector<std::size_t> cursor(row_offsets_.begin(),
+                                  row_offsets_.end() - 1);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (const RowHit& hit : rows[a]) {
+      const auto id = static_cast<std::uint32_t>(edges_.size());
+      edges_.push_back(GraphEdge{a, hit.b, hit.weight});
+      // Visiting edges in (a, b) lexicographic order fills every CSR row
+      // in ascending neighbor order: row v first receives its partners
+      // < v (while they are the row), then its partners > v (when v is).
+      std::size_t slot = cursor[a]++;
+      col_[slot] = hit.b;
+      weight_[slot] = hit.weight;
+      edge_id_[slot] = id;
+      slot = cursor[hit.b]++;
+      col_[slot] = a;
+      weight_[slot] = hit.weight;
+      edge_id_[slot] = id;
     }
   }
 }
 
-std::size_t ChunkGraph::edge_index(std::uint32_t a, std::uint32_t b) const {
+std::size_t ChunkGraph::csr_find(std::uint32_t a, std::uint32_t b) const {
   MLSC_DCHECK(a < num_nodes_ && b < num_nodes_, "graph node out of range");
-  if (a > b) std::swap(a, b);
-  // Upper-triangle row-major: row a starts after a full rows.
-  return static_cast<std::size_t>(a) * num_nodes_ -
-         static_cast<std::size_t>(a) * (a + 1) / 2 + b;
+  const auto begin = col_.begin() + row_offsets_[a];
+  const auto end = col_.begin() + row_offsets_[a + 1];
+  const auto it = std::lower_bound(begin, end, b);
+  if (it == end || *it != b) return SIZE_MAX;
+  return static_cast<std::size_t>(it - col_.begin());
 }
 
 std::uint64_t ChunkGraph::weight(std::uint32_t a, std::uint32_t b) const {
   if (a == b) return 0;
-  return weights_[edge_index(a, b)];
+  const std::size_t slot = csr_find(a, b);
+  if (slot != SIZE_MAX) return weight_[slot];
+  if (!extra_edge_id_.empty()) {
+    const auto it = extra_edge_id_.find(pair_key(a, b));
+    if (it != extra_edge_id_.end()) return edges_[it->second].weight;
+  }
+  return 0;
 }
 
-std::vector<std::uint32_t> ChunkGraph::neighbors(std::uint32_t node) const {
-  std::vector<std::uint32_t> out;
-  for (std::uint32_t other = 0; other < num_nodes_; ++other) {
-    if (other != node && weight(node, other) > 0) out.push_back(other);
+std::span<const std::uint32_t> ChunkGraph::neighbors(
+    std::uint32_t node) const {
+  MLSC_DCHECK(node < num_nodes_, "graph node out of range");
+  if (!patched_rows_.empty()) {
+    const auto it = patched_rows_.find(node);
+    if (it != patched_rows_.end()) {
+      return {it->second.data(), it->second.size()};
+    }
   }
-  return out;
+  return {col_.data() + row_offsets_[node],
+          row_offsets_[node + 1] - row_offsets_[node]};
 }
 
 void ChunkGraph::set_infinite(std::uint32_t a, std::uint32_t b) {
   MLSC_CHECK(a != b, "cannot set a self edge");
-  auto& w = weights_[edge_index(a, b)];
-  const bool was_zero = (w == 0);
-  w = GraphEdge::kInfiniteWeight;
-  if (was_zero) {
-    edges_.push_back(GraphEdge{std::min(a, b), std::max(a, b), w});
-  } else {
-    for (auto& e : edges_) {
-      if (e.a == std::min(a, b) && e.b == std::max(a, b)) {
-        e.weight = GraphEdge::kInfiniteWeight;
-        break;
-      }
+  MLSC_CHECK(a < num_nodes_ && b < num_nodes_, "graph node out of range");
+  const std::size_t slot_ab = csr_find(a, b);
+  if (slot_ab != SIZE_MAX) {
+    const std::size_t slot_ba = csr_find(b, a);
+    weight_[slot_ab] = GraphEdge::kInfiniteWeight;
+    weight_[slot_ba] = GraphEdge::kInfiniteWeight;
+    edges_[edge_id_[slot_ab]].weight = GraphEdge::kInfiniteWeight;
+    return;
+  }
+
+  const std::uint64_t key = pair_key(a, b);
+  const auto existing = extra_edge_id_.find(key);
+  if (existing != extra_edge_id_.end()) {
+    edges_[existing->second].weight = GraphEdge::kInfiniteWeight;
+    return;
+  }
+
+  // Brand-new edge on a zero-weight pair: record it and patch both rows.
+  extra_edge_id_.emplace(
+      key, static_cast<std::uint32_t>(edges_.size()));
+  edges_.push_back(GraphEdge{std::min(a, b), std::max(a, b),
+                             GraphEdge::kInfiniteWeight});
+  for (const auto& [node, other] : {std::pair{a, b}, std::pair{b, a}}) {
+    auto& row = patched_rows_[node];
+    if (row.empty()) {
+      const auto span = std::span<const std::uint32_t>(
+          col_.data() + row_offsets_[node],
+          row_offsets_[node + 1] - row_offsets_[node]);
+      row.assign(span.begin(), span.end());
     }
+    row.insert(std::lower_bound(row.begin(), row.end(), other), other);
   }
 }
 

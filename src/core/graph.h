@@ -7,14 +7,28 @@
 // on cluster tags for efficiency, so this graph mainly serves analysis,
 // visualization, the worked-example tests, and the dependence extension
 // (which adds infinite-weight edges).
+//
+// Representation: the O(V^2) pairwise common-bits sweep runs once at
+// construction (row-partitioned over the upper triangle and optionally
+// parallelized over a ThreadPool), then the nonzero structure is frozen
+// into a symmetric CSR adjacency — row offsets plus sorted neighbor /
+// weight / edge-id arrays.  weight() is a binary search in a row
+// (O(log degree)), neighbors() is a zero-copy span over a row, and
+// set_infinite() updates the two directed entries plus the edge record
+// in O(log degree).  Dependence pinning of a pair with *zero* shared
+// data inserts a new edge after the freeze; such rows are patched into
+// small side tables so every accessor stays consistent.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/iteration_chunk.h"
+#include "support/thread_pool.h"
 
 namespace mlsc::core {
 
@@ -27,23 +41,50 @@ struct GraphEdge {
       std::numeric_limits<std::uint64_t>::max();
 };
 
+struct GraphOptions {
+  /// Upper bound on the node count.  The sweep is O(V^2) pairings and the
+  /// CSR is O(V + E); the default admits a million chunks, far above the
+  /// old hard-wired 8192 cap, while still catching accidental explosion.
+  std::size_t max_nodes = 1u << 20;
+
+  /// Tags whose width (max set bit + 1) is at most this many bits are
+  /// densified into DynamicBitsets so the sweep runs on the unrolled
+  /// word-level and_count instead of the sparse merge.
+  std::size_t bitset_width_limit = 1u << 15;
+
+  /// Pool for the pairwise sweep; null (or a 1-thread pool) runs serially.
+  /// Either way the result is identical — rows are independent.
+  ThreadPool* pool = nullptr;
+};
+
 class ChunkGraph {
  public:
-  /// Builds the complete similarity structure over the chunk table;
-  /// O(V^2) pairings, so callers should bound the table size first.
-  explicit ChunkGraph(const std::vector<IterationChunk>& chunks);
+  /// Builds the complete similarity structure over the chunk table with
+  /// an O(V^2) pairwise sweep, then freezes it into CSR form.
+  explicit ChunkGraph(const std::vector<IterationChunk>& chunks,
+                      const GraphOptions& options = {});
 
   std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
   const std::vector<GraphEdge>& edges() const { return edges_; }
 
-  /// Weight between two nodes; 0 when there is no edge.
+  /// Weight between two nodes; 0 when there is no edge.  O(log degree).
   std::uint64_t weight(std::uint32_t a, std::uint32_t b) const;
 
-  /// Neighbors of a node with nonzero weight.
-  std::vector<std::uint32_t> neighbors(std::uint32_t node) const;
+  /// Neighbors of a node with nonzero weight, ascending, as a view over
+  /// the CSR row (no allocation).  Valid until the graph is destroyed;
+  /// set_infinite() on a previously-zero pair repoints the affected rows
+  /// but never invalidates spans of untouched nodes.
+  std::span<const std::uint32_t> neighbors(std::uint32_t node) const;
+
+  std::size_t degree(std::uint32_t node) const {
+    return neighbors(node).size();
+  }
 
   /// Marks two chunks as inseparable (dependence extension §5.4,
-  /// strategy 1): the edge weight becomes infinite.
+  /// strategy 1): the edge weight becomes infinite.  O(log degree) when
+  /// the pair already shares data; inserting a brand-new edge costs
+  /// O(degree) for the two patched rows.
   void set_infinite(std::uint32_t a, std::uint32_t b);
 
   /// Graphviz dot rendering (used by the examples).
@@ -51,12 +92,31 @@ class ChunkGraph {
                      std::size_t tag_width) const;
 
  private:
-  std::size_t edge_index(std::uint32_t a, std::uint32_t b) const;
+  static std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  /// Index into col_/weight_ of `b` within `a`'s CSR row, or SIZE_MAX.
+  std::size_t csr_find(std::uint32_t a, std::uint32_t b) const;
 
   std::size_t num_nodes_ = 0;
-  std::vector<std::uint64_t> weights_;  // dense upper triangle
-  std::vector<GraphEdge> edges_;        // nonzero edges only
-  bool edges_dirty_ = false;
+
+  // Symmetric CSR adjacency: row v is
+  // col_[row_offsets_[v] .. row_offsets_[v+1]), sorted ascending, with
+  // parallel weight_ and edge_id_ (index into edges_) arrays.
+  std::vector<std::size_t> row_offsets_;
+  std::vector<std::uint32_t> col_;
+  std::vector<std::uint64_t> weight_;
+  std::vector<std::uint32_t> edge_id_;
+
+  std::vector<GraphEdge> edges_;  // nonzero edges, (a < b) lexicographic
+
+  // Post-freeze dependence pins on zero-weight pairs: the new edge's
+  // weight keyed by packed pair, and for each affected node a rebuilt
+  // sorted row that neighbors() serves instead of the CSR row.
+  std::unordered_map<std::uint64_t, std::uint32_t> extra_edge_id_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> patched_rows_;
 };
 
 }  // namespace mlsc::core

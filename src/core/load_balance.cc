@@ -30,6 +30,87 @@ std::uint64_t total_iterations(const std::vector<Cluster>& clusters) {
   return total;
 }
 
+/// Result of scoring a donor's members against a recipient: the
+/// best-affinity member that fits whole under `move_max`, and the
+/// best-affinity member overall (split when nothing fits).
+struct MemberChoice {
+  std::uint32_t best_fit = UINT32_MAX;
+  std::uint64_t best_fit_dot = 0;
+  std::uint32_t best_any = UINT32_MAX;
+  std::uint64_t best_any_dot = 0;
+};
+
+/// Folds one member into the running choice with the same strict-
+/// improvement rules the original serial scan used, so any in-order
+/// partition of the member list reduces to the identical winner.
+void fold_member(MemberChoice& choice, std::uint32_t member, std::uint64_t d,
+                 std::uint64_t move_max,
+                 const std::vector<IterationChunk>& chunks) {
+  if (chunks[member].iterations <= move_max &&
+      (choice.best_fit == UINT32_MAX || d > choice.best_fit_dot ||
+       (d == choice.best_fit_dot &&
+        chunks[member].iterations > chunks[choice.best_fit].iterations))) {
+    choice.best_fit = member;
+    choice.best_fit_dot = d;
+  }
+  if (choice.best_any == UINT32_MAX || d > choice.best_any_dot) {
+    choice.best_any = member;
+    choice.best_any_dot = d;
+  }
+}
+
+/// Merges a later block's choice into an earlier one (same predicates,
+/// applied left to right over the block sequence).
+void fold_choice(MemberChoice& acc, const MemberChoice& next,
+                 const std::vector<IterationChunk>& chunks) {
+  if (next.best_fit != UINT32_MAX &&
+      (acc.best_fit == UINT32_MAX || next.best_fit_dot > acc.best_fit_dot ||
+       (next.best_fit_dot == acc.best_fit_dot &&
+        chunks[next.best_fit].iterations >
+            chunks[acc.best_fit].iterations))) {
+    acc.best_fit = next.best_fit;
+    acc.best_fit_dot = next.best_fit_dot;
+  }
+  if (next.best_any != UINT32_MAX &&
+      (acc.best_any == UINT32_MAX || next.best_any_dot > acc.best_any_dot)) {
+    acc.best_any = next.best_any;
+    acc.best_any_dot = next.best_any_dot;
+  }
+}
+
+/// The candidate-scoring inner loop of both balancing passes: dot every
+/// donor member's tag against the recipient's cluster tag.  Fans out over
+/// the pool for large donors; per-block partials reduce in block order,
+/// which makes the pick bit-identical to the serial scan.
+MemberChoice score_members(const Cluster& donor, const Cluster& recipient,
+                           const std::vector<IterationChunk>& chunks,
+                           std::uint64_t move_max, ThreadPool* pool) {
+  const auto& members = donor.members;
+  MemberChoice choice;
+  if (pool == nullptr || pool->num_threads() <= 1 || members.size() < 512) {
+    for (std::uint32_t member : members) {
+      fold_member(choice, member, recipient.tag.dot(chunks[member].tag),
+                  move_max, chunks);
+    }
+    return choice;
+  }
+
+  const std::size_t grain = pool->default_grain(members.size());
+  std::vector<MemberChoice> partial(
+      ThreadPool::chunk_count(0, members.size(), grain));
+  pool->parallel_chunks(
+      0, members.size(), grain,
+      [&](std::size_t block, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          fold_member(partial[block], members[i],
+                      recipient.tag.dot(chunks[members[i]].tag), move_max,
+                      chunks);
+        }
+      });
+  for (const MemberChoice& block : partial) fold_choice(choice, block, chunks);
+  return choice;
+}
+
 }  // namespace
 
 bool is_balanced(const std::vector<Cluster>& clusters,
@@ -47,7 +128,8 @@ bool is_balanced(const std::vector<Cluster>& clusters,
 std::size_t balance_clusters(std::vector<Cluster>& clusters,
                              std::vector<IterationChunk>& chunks,
                              const BalanceOptions& options,
-                             const BalanceLimits* explicit_limits) {
+                             const BalanceLimits* explicit_limits,
+                             ThreadPool* pool) {
   MLSC_CHECK(!clusters.empty(), "cannot balance an empty cluster set");
   const std::uint64_t total = total_iterations(clusters);
   auto limits = balance_limits(total, clusters.size(), options.threshold);
@@ -95,29 +177,15 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
     // Pick the donor member with maximal affinity to the recipient among
     // those that fit whole; otherwise take the best-affinity member and
     // split it so exactly move_max iterations move.
-    std::uint32_t best_fit = UINT32_MAX;
-    std::uint64_t best_fit_dot = 0;
-    std::uint32_t best_any = UINT32_MAX;
-    std::uint64_t best_any_dot = 0;
-    for (std::uint32_t member : clusters[donor].members) {
-      const std::uint64_t d = clusters[recipient].tag.dot(chunks[member].tag);
-      if (chunks[member].iterations <= move_max &&
-          (best_fit == UINT32_MAX || d > best_fit_dot ||
-           (d == best_fit_dot &&
-            chunks[member].iterations > chunks[best_fit].iterations))) {
-        best_fit = member;
-        best_fit_dot = d;
-      }
-      if (best_any == UINT32_MAX || d > best_any_dot) {
-        best_any = member;
-        best_any_dot = d;
-      }
-    }
+    const MemberChoice choice = score_members(
+        clusters[donor], clusters[recipient], chunks, move_max, pool);
 
-    if (best_fit != UINT32_MAX) {
+    if (choice.best_fit != UINT32_MAX) {
+      const std::uint32_t best_fit = choice.best_fit;
       clusters[donor].remove_member(best_fit, chunks[best_fit]);
       clusters[recipient].add_member(best_fit, chunks[best_fit]);
     } else {
+      const std::uint32_t best_any = choice.best_any;
       MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
       // Split best_any into (move_max, rest): the head moves.
       auto [head, tail] = split_chunk(chunks[best_any], move_max);
@@ -160,28 +228,14 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
     const std::uint64_t move_max =
         std::min(need, clusters[donor].iterations - limits.lower);
 
-    std::uint32_t best_fit = UINT32_MAX;
-    std::uint64_t best_fit_dot = 0;
-    std::uint32_t best_any = UINT32_MAX;
-    std::uint64_t best_any_dot = 0;
-    for (std::uint32_t member : clusters[donor].members) {
-      const std::uint64_t d = clusters[recipient].tag.dot(chunks[member].tag);
-      if (chunks[member].iterations <= move_max &&
-          (best_fit == UINT32_MAX || d > best_fit_dot ||
-           (d == best_fit_dot &&
-            chunks[member].iterations > chunks[best_fit].iterations))) {
-        best_fit = member;
-        best_fit_dot = d;
-      }
-      if (best_any == UINT32_MAX || d > best_any_dot) {
-        best_any = member;
-        best_any_dot = d;
-      }
-    }
-    if (best_fit != UINT32_MAX) {
+    const MemberChoice choice = score_members(
+        clusters[donor], clusters[recipient], chunks, move_max, pool);
+    if (choice.best_fit != UINT32_MAX) {
+      const std::uint32_t best_fit = choice.best_fit;
       clusters[donor].remove_member(best_fit, chunks[best_fit]);
       clusters[recipient].add_member(best_fit, chunks[best_fit]);
     } else {
+      const std::uint32_t best_any = choice.best_any;
       MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
       auto [head, tail] = split_chunk(chunks[best_any], move_max);
       clusters[donor].remove_member(best_any, chunks[best_any]);

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "support/check.h"
 
 namespace mlsc::core {
+
+namespace {
+
+/// Materializes the options' thread knob: a live pool when more than one
+/// thread is requested, nullptr (serial) otherwise.  The pool lives in
+/// `storage` so it tears down when the mapping call returns.
+ThreadPool* acquire_pool(std::size_t num_threads,
+                         std::optional<ThreadPool>& storage) {
+  if (resolve_num_threads(num_threads) <= 1) return nullptr;
+  storage.emplace(num_threads);
+  return &*storage;
+}
+
+}  // namespace
 
 HierarchicalMapper::HierarchicalMapper(const topology::HierarchyTree& tree,
                                        HierarchicalMapperOptions options)
@@ -16,14 +31,22 @@ HierarchicalMapper::HierarchicalMapper(const topology::HierarchyTree& tree,
 MappingResult HierarchicalMapper::map(const poly::Program& program,
                                       const DataSpace& space,
                                       std::span<const poly::NestId> nests) const {
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = acquire_pool(options_.num_threads, pool_storage);
   auto tagging = compute_iteration_chunks(program, space, nests,
-                                          options_.tagging);
-  auto result = map_chunks(std::move(tagging.chunks));
-  return result;
+                                          options_.tagging, pool);
+  return map_chunks_with_pool(std::move(tagging.chunks), pool);
 }
 
 MappingResult HierarchicalMapper::map_chunks(
     std::vector<IterationChunk> chunks) const {
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = acquire_pool(options_.num_threads, pool_storage);
+  return map_chunks_with_pool(std::move(chunks), pool);
+}
+
+MappingResult HierarchicalMapper::map_chunks_with_pool(
+    std::vector<IterationChunk> chunks, ThreadPool* pool) const {
   MLSC_CHECK(!chunks.empty(), "no iteration chunks to map");
 
   // Hierarchical iteration distribution: each tree node owns the set of
@@ -64,14 +87,14 @@ MappingResult HierarchicalMapper::map_chunks(
       if (set.empty()) continue;
 
       auto clusters = make_singletons(set, chunks);
-      cluster_to_count(clusters, children.size(), chunks);
+      cluster_to_count(clusters, children.size(), chunks, pool);
       // All children of a layered tree have equal leaf counts; scale the
       // global per-client window by that count.
       const auto leaves =
           static_cast<std::uint64_t>(leaves_under[children.front()]);
       const BalanceLimits limits{global.lower * leaves,
                                  global.upper * leaves};
-      balance_clusters(clusters, chunks, balance, &limits);
+      balance_clusters(clusters, chunks, balance, &limits, pool);
 
       MLSC_CHECK(clusters.size() == children.size(),
                  "cluster count does not match fan-out");

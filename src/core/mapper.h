@@ -10,6 +10,7 @@
 #include "core/load_balance.h"
 #include "core/mapping.h"
 #include "core/tagging.h"
+#include "support/thread_pool.h"
 #include "topology/hierarchy.h"
 
 namespace mlsc::core {
@@ -19,6 +20,12 @@ struct HierarchicalMapperOptions {
   /// value used in the paper's experiments, §5.2).
   double balance_threshold = 0.10;
   TaggingOptions tagging;
+
+  /// Threads for tagging, clustering and balancing: 1 = serial (the
+  /// default), 0 = hardware concurrency, N = exactly N.  Every parallel
+  /// stage reduces in a fixed order, so the produced mapping is
+  /// bit-identical for every thread count.
+  std::size_t num_threads = 1;
 };
 
 class HierarchicalMapper {
@@ -40,6 +47,9 @@ class HierarchicalMapper {
   const HierarchicalMapperOptions& options() const { return options_; }
 
  private:
+  MappingResult map_chunks_with_pool(std::vector<IterationChunk> chunks,
+                                     ThreadPool* pool) const;
+
   const topology::HierarchyTree& tree_;
   HierarchicalMapperOptions options_;
 };

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <numeric>
+#include <optional>
 
 #include "support/check.h"
 
@@ -27,8 +28,14 @@ MappingResult MappingPipeline::run(const poly::Program& program,
       break;
   }
 
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (resolve_num_threads(options_.num_threads) > 1) {
+    pool_storage.emplace(options_.num_threads);
+    pool = &*pool_storage;
+  }
   auto tagging =
-      compute_iteration_chunks(program, space, nests, options_.tagging);
+      compute_iteration_chunks(program, space, nests, options_.tagging, pool);
   auto chunks = std::move(tagging.chunks);
 
   // Dependence handling, strategy 1: pre-merge dependent chunks so the
@@ -47,6 +54,7 @@ MappingResult MappingPipeline::run(const poly::Program& program,
   HierarchicalMapperOptions mapper_options;
   mapper_options.balance_threshold = options_.balance_threshold;
   mapper_options.tagging = options_.tagging;
+  mapper_options.num_threads = options_.num_threads;
   HierarchicalMapper mapper(tree_, mapper_options);
   auto mapping = mapper.map_chunks(std::move(chunks));
 

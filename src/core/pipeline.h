@@ -36,6 +36,12 @@ struct PipelineOptions {
 
   TaggingOptions tagging;
   IntraProcessorOptions intra;
+
+  /// Threads for the mapping stages (tagging, clustering, balancing):
+  /// 1 = serial (default), 0 = hardware concurrency, N = exactly N.  The
+  /// mapping produced is bit-identical for every value — parallel stages
+  /// reduce in a fixed order — so this is purely a wall-clock knob.
+  std::size_t num_threads = 1;
 };
 
 class MappingPipeline {

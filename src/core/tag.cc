@@ -19,6 +19,28 @@ bool ChunkTag::test(std::uint32_t pos) const {
 }
 
 std::size_t ChunkTag::common_bits(const ChunkTag& other) const {
+  // Skewed sizes: galloping search of the small side into the large one,
+  // O(|small| log |large|) instead of O(|small| + |large|).  The dense
+  // word-level path lives in DynamicBitset::and_count; the similarity
+  // graph densifies tags and uses it when the tag width is modest.
+  const std::vector<std::uint32_t>* small = &bits_;
+  const std::vector<std::uint32_t>* large = &other.bits_;
+  if (small->size() > large->size()) std::swap(small, large);
+  if (small->empty()) return 0;
+  if (large->size() / small->size() >= 8) {
+    std::size_t count = 0;
+    auto from = large->begin();
+    for (std::uint32_t bit : *small) {
+      from = std::lower_bound(from, large->end(), bit);
+      if (from == large->end()) break;
+      if (*from == bit) {
+        ++count;
+        ++from;
+      }
+    }
+    return count;
+  }
+
   std::size_t count = 0;
   auto a = bits_.begin();
   auto b = other.bits_.begin();
@@ -145,6 +167,22 @@ std::uint64_t ClusterTag::dot(const ClusterTag& other) const {
 }
 
 std::uint64_t ClusterTag::dot(const ChunkTag& tag) const {
+  // This is the load balancer's candidate-scoring inner loop.  A big
+  // cluster tag probed by a narrow chunk tag is the common case, so
+  // gallop (binary search per probe bit) when the sizes are skewed.
+  if (!tag.bits().empty() && entries_.size() / tag.bits().size() >= 8) {
+    std::uint64_t total = 0;
+    auto from = entries_.begin();
+    for (std::uint32_t b : tag.bits()) {
+      from = std::lower_bound(
+          from, entries_.end(), b,
+          [](const Entry& e, std::uint32_t p) { return e.pos < p; });
+      if (from == entries_.end()) break;
+      if (from->pos == b) total += (from++)->count;
+    }
+    return total;
+  }
+
   std::uint64_t total = 0;
   auto e = entries_.begin();
   for (std::uint32_t b : tag.bits()) {

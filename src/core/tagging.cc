@@ -41,6 +41,74 @@ std::vector<IterationChunk> coarsen(std::vector<IterationChunk> chunks,
   return chunks;
 }
 
+/// A maximal range of consecutive ranks with one tag — the run-length
+/// encoding of the per-iteration tag sequence.  RLE is canonical, so any
+/// block decomposition that merges equal tags across block boundaries
+/// reconstructs exactly the runs a serial walk would produce; this is
+/// what makes the parallel tagging bit-identical to the serial one.
+struct TagRun {
+  ChunkTag tag;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Tags ranks [lo, hi) of `nest` and appends their (locally merged) runs.
+void compute_block_runs(const poly::Program& program,
+                        const poly::LoopNest& nest, const DataSpace& space,
+                        std::uint64_t lo, std::uint64_t hi,
+                        std::vector<TagRun>& out) {
+  poly::Iteration iter = nest.space.delinearize(lo);
+  std::vector<std::uint32_t> footprint;
+  for (std::uint64_t rank = lo; rank < hi; ++rank) {
+    iteration_footprint(program, nest, space, iter, footprint);
+    ChunkTag tag = ChunkTag::from_bits(footprint);
+    if (!out.empty() && out.back().end == rank && out.back().tag == tag) {
+      out.back().end = rank + 1;
+    } else {
+      out.push_back(TagRun{std::move(tag), rank, rank + 1});
+    }
+    nest.space.advance(iter);
+  }
+}
+
+/// The full run list of a nest: serial single pass, or block-parallel
+/// with boundary stitching when a pool is available and the nest is big
+/// enough to amortize the fan-out.
+std::vector<TagRun> compute_nest_runs(const poly::Program& program,
+                                      const poly::LoopNest& nest,
+                                      const DataSpace& space,
+                                      ThreadPool* pool) {
+  const std::uint64_t total = nest.space.size();
+  std::vector<TagRun> runs;
+  if (pool == nullptr || pool->num_threads() <= 1 || total < 2048) {
+    compute_block_runs(program, nest, space, 0, total, runs);
+    return runs;
+  }
+
+  const auto size = static_cast<std::size_t>(total);
+  const std::size_t grain = pool->default_grain(size);
+  std::vector<std::vector<TagRun>> blocks(
+      ThreadPool::chunk_count(0, size, grain));
+  pool->parallel_chunks(0, size, grain,
+                        [&](std::size_t block, std::size_t lo,
+                            std::size_t hi) {
+                          compute_block_runs(program, nest, space, lo, hi,
+                                             blocks[block]);
+                        });
+
+  for (auto& block : blocks) {
+    for (auto& run : block) {
+      if (!runs.empty() && runs.back().end == run.begin &&
+          runs.back().tag == run.tag) {
+        runs.back().end = run.end;
+      } else {
+        runs.push_back(std::move(run));
+      }
+    }
+  }
+  return runs;
+}
+
 }  // namespace
 
 void iteration_footprint(const poly::Program& program,
@@ -60,61 +128,37 @@ void iteration_footprint(const poly::Program& program,
 TaggingResult compute_iteration_chunks(const poly::Program& program,
                                        const DataSpace& space,
                                        std::span<const poly::NestId> nests,
-                                       const TaggingOptions& options) {
+                                       const TaggingOptions& options,
+                                       ThreadPool* pool) {
   TaggingResult result;
   result.num_data_chunks = space.num_chunks();
 
   std::unordered_map<ChunkTag, std::size_t, ChunkTagHash> tag_index;
   std::vector<IterationChunk> chunks;
 
-  std::vector<std::uint32_t> footprint;
-
   for (poly::NestId nest_id : nests) {
     const poly::LoopNest& nest = program.nest(nest_id);
     if (nest.space.empty()) continue;
 
-    poly::Iteration iter = nest.space.first();
-    std::uint64_t rank = 0;
-
-    ChunkTag run_tag;        // tag of the open run
-    std::uint64_t run_begin = 0;
-    bool run_open = false;
-
-    auto flush_run = [&](std::uint64_t end_rank) {
-      if (!run_open) return;
-      auto [it, inserted] = tag_index.try_emplace(run_tag, chunks.size());
+    // Hash-cons the runs into iteration chunks, in rank order: recurring
+    // tags fold into one chunk with several ranges, exactly the paper's
+    // definition (an iteration chunk is the set of *all* iterations with
+    // one tag).  Chunk creation order is first-occurrence order, so the
+    // table is identical however the runs were computed.
+    for (TagRun& run : compute_nest_runs(program, nest, space, pool)) {
+      auto [it, inserted] = tag_index.try_emplace(run.tag, chunks.size());
       if (inserted) {
         IterationChunk chunk;
         chunk.nest = nest_id;
-        chunk.tag = run_tag;
+        chunk.tag = std::move(run.tag);
         chunks.push_back(std::move(chunk));
       }
       IterationChunk& chunk = chunks[it->second];
       MLSC_CHECK(chunk.nest == nest_id,
                  "tag shared across nests must not be hash-consed together");
-      chunk.ranges.push_back(poly::LinearRange{run_begin, end_rank});
-      chunk.iterations += end_rank - run_begin;
-    };
-
-    bool more = true;
-    while (more) {
-      iteration_footprint(program, nest, space, iter, footprint);
-      ChunkTag tag = ChunkTag::from_bits(footprint);
-
-      if (!run_open) {
-        run_tag = std::move(tag);
-        run_begin = rank;
-        run_open = true;
-      } else if (!(tag == run_tag)) {
-        flush_run(rank);
-        run_tag = std::move(tag);
-        run_begin = rank;
-      }
-
-      more = nest.space.advance(iter);
-      ++rank;
+      chunk.ranges.push_back(poly::LinearRange{run.begin, run.end});
+      chunk.iterations += run.end - run.begin;
     }
-    flush_run(rank);
     // Reset the hash-cons table across nests: chunks never span nests.
     tag_index.clear();
     result.total_iterations += nest.space.size();

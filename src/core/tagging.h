@@ -15,6 +15,7 @@
 #include "core/data_space.h"
 #include "core/iteration_chunk.h"
 #include "poly/loop_nest.h"
+#include "support/thread_pool.h"
 
 namespace mlsc::core {
 
@@ -45,9 +46,15 @@ void iteration_footprint(const poly::Program& program,
 /// Computes the iteration chunks of the given nests (multi-nest handling,
 /// §5.4: the iteration sets of all listed nests are simply combined; the
 /// returned chunks carry their owning nest id).
+///
+/// When `pool` is non-null each nest's rank space is tagged in parallel
+/// blocks whose run-length encodings are stitched back together; the RLE
+/// of a tag sequence is canonical, so the resulting chunk table is
+/// bit-identical to the serial walk for any thread count.
 TaggingResult compute_iteration_chunks(const poly::Program& program,
                                        const DataSpace& space,
                                        std::span<const poly::NestId> nests,
-                                       const TaggingOptions& options = {});
+                                       const TaggingOptions& options = {},
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace mlsc::core

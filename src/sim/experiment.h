@@ -28,6 +28,11 @@ struct SchemeSpec {
   core::DependenceStrategy dependences =
       core::DependenceStrategy::kSynchronize;
 
+  /// Mapping-stage threads (core::PipelineOptions::num_threads): 1 =
+  /// serial, 0 = hardware concurrency.  Mappings are bit-identical for
+  /// every value; this only changes mapping wall-clock time.
+  std::size_t num_threads = 1;
+
   static SchemeSpec original() {
     SchemeSpec s;
     s.mapper = core::MapperKind::kOriginal;

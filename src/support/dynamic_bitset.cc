@@ -12,20 +12,40 @@ std::size_t DynamicBitset::count() const {
 
 std::size_t DynamicBitset::and_count(const DynamicBitset& other) const {
   check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += std::popcount(words_[i] & other.words_[i]);
+  // Four-wide unrolled popcount accumulation: independent accumulators
+  // break the loop-carried dependence so wide cores can retire several
+  // popcounts per cycle.  This is the inner loop of the O(n^2) similarity
+  // sweep, so it matters at scale.
+  const std::uint64_t* a = words_.data();
+  const std::uint64_t* b = other.words_.data();
+  const std::size_t n = words_.size();
+  std::size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    t0 += std::popcount(a[i] & b[i]);
+    t1 += std::popcount(a[i + 1] & b[i + 1]);
+    t2 += std::popcount(a[i + 2] & b[i + 2]);
+    t3 += std::popcount(a[i + 3] & b[i + 3]);
   }
-  return total;
+  for (; i < n; ++i) t0 += std::popcount(a[i] & b[i]);
+  return t0 + t1 + t2 + t3;
 }
 
 std::size_t DynamicBitset::hamming_distance(const DynamicBitset& other) const {
   check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += std::popcount(words_[i] ^ other.words_[i]);
+  const std::uint64_t* a = words_.data();
+  const std::uint64_t* b = other.words_.data();
+  const std::size_t n = words_.size();
+  std::size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    t0 += std::popcount(a[i] ^ b[i]);
+    t1 += std::popcount(a[i + 1] ^ b[i + 1]);
+    t2 += std::popcount(a[i + 2] ^ b[i + 2]);
+    t3 += std::popcount(a[i + 3] ^ b[i + 3]);
   }
-  return total;
+  for (; i < n; ++i) t0 += std::popcount(a[i] ^ b[i]);
+  return t0 + t1 + t2 + t3;
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {

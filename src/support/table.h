@@ -30,6 +30,10 @@ class Table {
   /// RFC-4180-ish CSV rendering (quotes fields containing commas).
   void print_csv(std::ostream& out) const;
 
+  /// One JSON object {"title", "header", "rows"} — the unit of the shared
+  /// machine-readable bench format (bench --json=<path>).
+  void print_json(std::ostream& out, const std::string& title = "") const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

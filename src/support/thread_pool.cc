@@ -1,0 +1,127 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace mlsc {
+
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return std::max<std::size_t>(1, requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t total = resolve_num_threads(num_threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::chunk_count(std::size_t begin, std::size_t end,
+                                    std::size_t grain) {
+  if (end <= begin) return 0;
+  const std::size_t range = end - begin;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  return (range + g - 1) / g;
+}
+
+std::size_t ThreadPool::default_grain(std::size_t range) const {
+  // Aim for ~4 chunks per thread so dynamic claiming can balance uneven
+  // chunk costs (e.g. triangular sweeps) without excessive dispatch.
+  const std::size_t target_chunks = num_threads() * 4;
+  return std::max<std::size_t>(1, (range + target_chunks - 1) / target_chunks);
+}
+
+void ThreadPool::run_chunks(const Job& job) {
+  for (;;) {
+    const std::size_t chunk = next_chunk_.fetch_add(1);
+    if (chunk >= job.num_chunks) break;
+    const std::size_t lo = job.begin + chunk * job.grain;
+    const std::size_t hi = std::min(job.end, lo + job.grain);
+    try {
+      (*job.body)(chunk, lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutting_down_ || job_generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = job_generation_;
+      job = job_;
+    }
+    run_chunks(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_active_;
+    }
+    job_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = chunk_count(begin, end, g);
+  if (chunks == 0) return;
+
+  if (workers_.empty() || chunks == 1) {
+    // Inline serial path: same chunk decomposition, caller's thread only.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * g;
+      body(c, lo, std::min(end, lo + g));
+    }
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.begin = begin;
+  job.end = end;
+  job.grain = g;
+  job.num_chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MLSC_CHECK(workers_active_ == 0,
+               "ThreadPool::parallel_chunks is not reentrant");
+    first_error_ = nullptr;
+    next_chunk_.store(0);
+    job_ = job;
+    ++job_generation_;
+    workers_active_ = workers_.size();
+  }
+  job_ready_.notify_all();
+
+  run_chunks(job);  // the caller is a worker too
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&] { return workers_active_ == 0; });
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace mlsc

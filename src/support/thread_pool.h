@@ -1,0 +1,105 @@
+// A small fixed-size thread pool with a chunked parallel_for.
+//
+// The mapping pipeline's super-linear kernels (tagging, the pairwise
+// similarity sweep, candidate scoring in clustering/balancing) are all
+// data-parallel over an index range.  This pool runs such ranges as a
+// fixed set of contiguous chunks: the chunk decomposition depends only on
+// (begin, end, grain), never on scheduling, so callers that store
+// per-chunk partial results and reduce them in chunk order get results
+// that are bit-identical to a serial run regardless of thread count or
+// timing.  There is no work stealing and no task graph — just fan-out,
+// dynamic chunk claiming via one atomic counter, and a join.
+//
+// The calling thread participates in the work, so ThreadPool(n) uses n
+// threads total (n-1 workers + the caller).  A pool of size <= 1 runs
+// everything inline on the caller, making `ThreadPool*` + nullptr checks
+// unnecessary for the serial path: pass a null pool or a 1-thread pool
+// and the behaviour (and result) is the same.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlsc {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs jobs on `num_threads` threads total
+  /// (including the caller).  0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Number of chunks parallel_chunks will create for a range — fixed by
+  /// the arguments alone so reductions over per-chunk slots are
+  /// deterministic.
+  static std::size_t chunk_count(std::size_t begin, std::size_t end,
+                                 std::size_t grain);
+
+  /// Runs body(chunk, lo, hi) for every chunk of [begin, end), where
+  /// chunk c covers [begin + c*grain, min(begin + (c+1)*grain, end)).
+  /// Blocks until all chunks finish.  The first exception thrown by any
+  /// chunk is rethrown on the calling thread (remaining chunks still
+  /// run to completion or are drained).
+  void parallel_chunks(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t chunk, std::size_t lo,
+                               std::size_t hi)>& body);
+
+  /// Convenience when the caller does not need chunk identity.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t lo,
+                                             std::size_t hi)>& body) {
+    parallel_chunks(begin, end, grain,
+                    [&](std::size_t, std::size_t lo, std::size_t hi) {
+                      body(lo, hi);
+                    });
+  }
+
+  /// A sensible grain for `range` items over this pool: a few chunks per
+  /// thread for dynamic balancing without per-chunk overhead dominating.
+  std::size_t default_grain(std::size_t range) const;
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+        nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t num_chunks = 0;
+  };
+
+  void worker_loop();
+  void run_chunks(const Job& job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  Job job_;
+  std::uint64_t job_generation_ = 0;  // bumped per parallel_chunks call
+  std::size_t workers_active_ = 0;
+  bool shutting_down_ = false;
+
+  std::atomic<std::size_t> next_chunk_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+/// Resolves a user-facing thread-count knob: 0 = hardware concurrency,
+/// otherwise the value itself (minimum 1).
+std::size_t resolve_num_threads(std::size_t requested);
+
+}  // namespace mlsc

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "support/check.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace mlsc::core {
 namespace {
@@ -30,6 +32,12 @@ TEST(ChunkGraph, WeightsAreCommonBits) {
   EXPECT_EQ(graph.weight(0, 0), 0u);  // no self edges
 }
 
+std::vector<std::uint32_t> neighbor_list(const ChunkGraph& graph,
+                                         std::uint32_t node) {
+  const auto span = graph.neighbors(node);
+  return {span.begin(), span.end()};
+}
+
 TEST(ChunkGraph, EdgesOmitZeroWeights) {
   std::vector<IterationChunk> chunks{
       make_chunk(0, {0}),
@@ -38,8 +46,8 @@ TEST(ChunkGraph, EdgesOmitZeroWeights) {
   };
   const ChunkGraph graph(chunks);
   EXPECT_EQ(graph.edges().size(), 2u);  // (0,2) and (1,2) only
-  EXPECT_EQ(graph.neighbors(2), (std::vector<std::uint32_t>{0, 1}));
-  EXPECT_TRUE(graph.neighbors(0).size() == 1);
+  EXPECT_EQ(neighbor_list(graph, 2), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(graph.degree(0), 1u);
 }
 
 TEST(ChunkGraph, InfiniteWeightForDependences) {
@@ -51,8 +59,68 @@ TEST(ChunkGraph, InfiniteWeightForDependences) {
   EXPECT_EQ(graph.weight(0, 1), 0u);
   graph.set_infinite(0, 1);
   EXPECT_EQ(graph.weight(0, 1), GraphEdge::kInfiniteWeight);
+  EXPECT_EQ(graph.weight(1, 0), GraphEdge::kInfiniteWeight);
   EXPECT_EQ(graph.edges().size(), 1u);
   EXPECT_EQ(graph.edges()[0].weight, GraphEdge::kInfiniteWeight);
+  // The pinned edge shows up in both patched adjacency rows.
+  EXPECT_EQ(neighbor_list(graph, 0), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(neighbor_list(graph, 1), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(ChunkGraph, SetInfiniteOnExistingEdgeUpdatesInPlace) {
+  std::vector<IterationChunk> chunks{
+      make_chunk(0, {0, 1}),
+      make_chunk(4, {1, 2}),
+      make_chunk(8, {2, 3}),
+  };
+  ChunkGraph graph(chunks);
+  ASSERT_EQ(graph.weight(0, 1), 1u);
+  graph.set_infinite(0, 1);
+  EXPECT_EQ(graph.weight(0, 1), GraphEdge::kInfiniteWeight);
+  EXPECT_EQ(graph.weight(1, 2), 1u);  // untouched edge keeps its weight
+  EXPECT_EQ(graph.edges().size(), 2u);
+  // Rows were updated in place, not patched.
+  EXPECT_EQ(neighbor_list(graph, 1), (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(ChunkGraph, ParallelSweepMatchesSerial) {
+  Rng rng(7);
+  std::vector<IterationChunk> chunks;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint32_t> bits;
+    for (int k = 0; k < 6; ++k) {
+      bits.push_back(static_cast<std::uint32_t>(rng.next_below(128)));
+    }
+    chunks.push_back(
+        make_chunk(static_cast<std::uint64_t>(i) * 4, std::move(bits)));
+  }
+  const ChunkGraph serial(chunks);
+  ThreadPool pool(4);
+  GraphOptions options;
+  options.pool = &pool;
+  const ChunkGraph parallel(chunks, options);
+  ASSERT_EQ(serial.edges().size(), parallel.edges().size());
+  for (std::size_t i = 0; i < serial.edges().size(); ++i) {
+    EXPECT_EQ(serial.edges()[i].a, parallel.edges()[i].a);
+    EXPECT_EQ(serial.edges()[i].b, parallel.edges()[i].b);
+    EXPECT_EQ(serial.edges()[i].weight, parallel.edges()[i].weight);
+  }
+}
+
+TEST(ChunkGraph, LiftsOldNodeCap) {
+  // >8192 nodes used to hit a hard MLSC_CHECK; the CSR build handles it.
+  std::vector<IterationChunk> chunks;
+  chunks.reserve(8300);
+  for (std::uint32_t i = 0; i < 8300; ++i) {
+    chunks.push_back(make_chunk(static_cast<std::uint64_t>(i) * 4,
+                                {i % 64, (i + 1) % 64}));
+  }
+  const ChunkGraph graph(chunks);
+  EXPECT_EQ(graph.num_nodes(), 8300u);
+  EXPECT_GT(graph.num_edges(), 0u);
+  GraphOptions tight;
+  tight.max_nodes = 100;
+  EXPECT_THROW(ChunkGraph(chunks, tight), Error);
 }
 
 TEST(ChunkGraph, DotRendering) {

@@ -1,0 +1,157 @@
+// Serial/parallel equivalence: the mapping pipeline must produce
+// bit-identical results for every thread count (DESIGN.md threading
+// model).  Runs the full pipeline serially and with 4 threads across
+// several workloads and two topologies, plus a regression test for chunk
+// tables larger than the old 8192-node similarity-graph cap.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/mapper.h"
+#include "core/pipeline.h"
+#include "support/rng.h"
+#include "workloads/registry.h"
+
+namespace mlsc::core {
+namespace {
+
+topology::HierarchyTree wide_tree() {
+  return topology::make_layered_hierarchy(8, 4, 2, 4 * kMiB, 4 * kMiB,
+                                          4 * kMiB);
+}
+
+topology::HierarchyTree narrow_tree() {
+  return topology::make_layered_hierarchy(4, 2, 1, 1024, 1024, 1024);
+}
+
+workloads::Workload tiny(const std::string& name) {
+  return workloads::make_workload(name, 1.0 / 16.0);
+}
+
+// Exact structural equality of two mappings: same work on the same
+// client in the same order, down to every position range and chunk id.
+void expect_identical(const MappingResult& serial, const MappingResult& par,
+                      const std::string& context) {
+  ASSERT_EQ(serial.client_work.size(), par.client_work.size()) << context;
+  for (std::size_t c = 0; c < serial.client_work.size(); ++c) {
+    const auto& ws = serial.client_work[c];
+    const auto& wp = par.client_work[c];
+    ASSERT_EQ(ws.size(), wp.size()) << context << " client " << c;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      SCOPED_TRACE(context + " client " + std::to_string(c) + " item " +
+                   std::to_string(i));
+      EXPECT_EQ(ws[i].nest, wp[i].nest);
+      EXPECT_EQ(ws[i].iterations, wp[i].iterations);
+      EXPECT_EQ(ws[i].chunk, wp[i].chunk);
+      ASSERT_EQ(ws[i].ranges.size(), wp[i].ranges.size());
+      for (std::size_t r = 0; r < ws[i].ranges.size(); ++r) {
+        EXPECT_EQ(ws[i].ranges[r].begin, wp[i].ranges[r].begin);
+        EXPECT_EQ(ws[i].ranges[r].end, wp[i].ranges[r].end);
+      }
+    }
+  }
+  ASSERT_EQ(serial.chunk_table.size(), par.chunk_table.size()) << context;
+  for (std::size_t i = 0; i < serial.chunk_table.size(); ++i) {
+    EXPECT_EQ(serial.chunk_table[i].iterations, par.chunk_table[i].iterations)
+        << context << " chunk " << i;
+  }
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelEquivalenceTest, FourThreadsMatchSerialOnBothTopologies) {
+  const auto workload = tiny(GetParam());
+  const DataSpace space(workload.program, 64 * kKiB);
+  const auto trees = {wide_tree(), narrow_tree()};
+  std::size_t topology_index = 0;
+  for (const auto& tree : trees) {
+    PipelineOptions serial_options;
+    serial_options.num_threads = 1;
+    PipelineOptions parallel_options;
+    parallel_options.num_threads = 4;
+    const auto serial =
+        MappingPipeline(tree, serial_options).run_all(workload.program, space);
+    const auto parallel = MappingPipeline(tree, parallel_options)
+                              .run_all(workload.program, space);
+    expect_identical(serial, parallel,
+                     GetParam() + " topology " + std::to_string(topology_index));
+    serial.validate_partition(workload.program);
+    ++topology_index;
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, ScheduledMappingAlsoMatches) {
+  const auto workload = tiny(GetParam());
+  const DataSpace space(workload.program, 64 * kKiB);
+  const auto tree = wide_tree();
+  PipelineOptions serial_options;
+  serial_options.schedule = true;
+  serial_options.num_threads = 1;
+  PipelineOptions parallel_options;
+  parallel_options.schedule = true;
+  parallel_options.num_threads = 4;
+  const auto serial =
+      MappingPipeline(tree, serial_options).run_all(workload.program, space);
+  const auto parallel =
+      MappingPipeline(tree, parallel_options).run_all(workload.program, space);
+  EXPECT_TRUE(parallel.scheduled);
+  expect_identical(serial, parallel, GetParam() + " scheduled");
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ParallelEquivalenceTest,
+                         ::testing::Values("hf", "sar", "astro", "madbench2"),
+                         [](const auto& info) { return info.param; });
+
+// Synthetic chunk table with windowed tag sharing (same construction the
+// scaling bench uses): nearby chunks overlap, distant ones do not.
+std::vector<IterationChunk> synthetic_chunks(std::size_t n) {
+  Rng rng(41);
+  const std::size_t width = 2048;
+  std::vector<IterationChunk> chunks;
+  chunks.reserve(n);
+  std::uint64_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t window_lo = i * width / n;
+    std::vector<std::uint32_t> bits;
+    for (int b = 0; b < 12; ++b) {
+      bits.push_back(static_cast<std::uint32_t>(
+          (window_lo + rng.next_below(width / 8)) % width));
+    }
+    IterationChunk c;
+    c.tag = ChunkTag::from_bits(std::move(bits));
+    const std::uint64_t len = 10 + rng.next_below(30);
+    c.ranges = {poly::LinearRange{pos, pos + len}};
+    c.iterations = len;
+    pos += len;
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+TEST(ParallelEquivalence, GraphAndMapperHandleMoreThan8192Chunks) {
+  // Regression: the similarity graph used to reject > 8192 nodes, which
+  // capped the mapper's chunk tables.
+  const std::size_t n = 8192 + 128;
+  const auto chunks = synthetic_chunks(n);
+
+  const ChunkGraph graph(chunks);
+  EXPECT_EQ(graph.num_nodes(), n);
+  EXPECT_GT(graph.num_edges(), 0u);
+
+  const auto tree = narrow_tree();
+  HierarchicalMapperOptions serial_options;
+  serial_options.num_threads = 1;
+  HierarchicalMapperOptions parallel_options;
+  parallel_options.num_threads = 4;
+  const auto serial =
+      HierarchicalMapper(tree, serial_options).map_chunks(chunks);
+  const auto parallel =
+      HierarchicalMapper(tree, parallel_options).map_chunks(chunks);
+  EXPECT_EQ(serial.num_clients(), 4u);
+  expect_identical(serial, parallel, "synthetic >8192");
+}
+
+}  // namespace
+}  // namespace mlsc::core

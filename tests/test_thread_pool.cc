@@ -1,0 +1,142 @@
+// ThreadPool: coverage of the chunked parallel_for — every index visited
+// exactly once, deterministic chunk decomposition, exception propagation,
+// pool reuse, and the degenerate small-range / serial cases.
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mlsc {
+namespace {
+
+TEST(ThreadPool, ReportsTotalThreadCount) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.num_threads(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4u);
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(resolve_num_threads(1), 1u);
+  EXPECT_EQ(resolve_num_threads(3), 3u);
+  EXPECT_GE(resolve_num_threads(0), 1u);  // hardware concurrency
+}
+
+TEST(ThreadPool, ChunkCountMatchesDecomposition) {
+  EXPECT_EQ(ThreadPool::chunk_count(0, 0, 16), 0u);
+  EXPECT_EQ(ThreadPool::chunk_count(0, 15, 16), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(0, 16, 16), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(0, 17, 16), 2u);
+  EXPECT_EQ(ThreadPool::chunk_count(10, 100, 30), 3u);
+}
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(0, kN, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkBoundsAreDeterministic) {
+  ThreadPool pool(4);
+  const std::size_t begin = 7, end = 1007, grain = 100;
+  const std::size_t chunks = ThreadPool::chunk_count(begin, end, grain);
+  // Per-chunk slots: each chunk writes its own entry, so the recorded
+  // bounds are independent of which thread claimed which chunk.
+  std::vector<std::pair<std::size_t, std::size_t>> bounds(chunks);
+  std::vector<std::atomic<int>> seen(chunks);
+  pool.parallel_chunks(begin, end, grain,
+                       [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                         bounds[c] = {lo, hi};
+                         seen[c].fetch_add(1);
+                       });
+  std::size_t expect_lo = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    EXPECT_EQ(seen[c].load(), 1);
+    EXPECT_EQ(bounds[c].first, expect_lo);
+    EXPECT_EQ(bounds[c].second, std::min(expect_lo + grain, end));
+    expect_lo = bounds[c].second;
+  }
+  EXPECT_EQ(expect_lo, end);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 10,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 500) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives the failed job and runs the next one normally.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100, 7, [&](std::size_t lo, std::size_t hi) {
+    std::size_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 99u * 100u / 2u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(0, 257, 16, [&](std::size_t lo, std::size_t hi) {
+      count.fetch_add(hi - lo);
+    });
+    ASSERT_EQ(count.load(), 257u);
+  }
+}
+
+TEST(ThreadPool, RangeSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.parallel_for(0, 3, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, 10, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> visits(100, 0);
+  pool.parallel_for(0, visits.size(), 9, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 100);
+}
+
+TEST(ThreadPool, DefaultGrainCoversRange) {
+  ThreadPool pool(4);
+  for (std::size_t range : {0u, 1u, 7u, 1000u, 100000u}) {
+    const std::size_t grain = pool.default_grain(range);
+    EXPECT_GE(grain, 1u);
+    if (range > 0) {
+      std::atomic<std::size_t> count{0};
+      pool.parallel_for(0, range, grain, [&](std::size_t lo, std::size_t hi) {
+        count.fetch_add(hi - lo);
+      });
+      EXPECT_EQ(count.load(), range);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlsc

@@ -11,7 +11,8 @@
 //            [--placement access|eviction|exclusive]
 //            [--balance FRACTION] [--alpha A] [--beta B]
 //            [--write-back] [--cooperative] [--readahead N]
-//            [--size-factor F] [--report stats|mapping|codegen|csv]
+//            [--size-factor F] [--threads N]
+//            [--report stats|mapping|codegen|csv]
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -44,6 +45,8 @@ using namespace mlsc;
       << "  --cooperative       probe sibling client caches\n"
       << "  --readahead N       disk readahead depth (default 0)\n"
       << "  --size-factor F     workload data scale (default 1.0)\n"
+      << "  --threads N         mapping-stage threads; 0 = all cores "
+         "(default 1, result is identical for any value)\n"
       << "  --report KIND       stats|full|compare|mapping|codegen|csv (default stats)\n";
   std::exit(2);
 }
@@ -108,6 +111,8 @@ int main(int argc, char** argv) {
             static_cast<std::uint32_t>(std::stoul(next_value(i)));
       } else if (arg == "--size-factor") {
         size_factor = std::stod(next_value(i));
+      } else if (arg == "--threads") {
+        scheme.num_threads = std::stoul(next_value(i));
       } else if (arg == "--report") {
         report = next_value(i);
       } else {
@@ -147,6 +152,7 @@ int main(int argc, char** argv) {
       options.schedule = scheme.schedule;
       options.scheduler = scheme.scheduler;
       options.balance_threshold = scheme.balance_threshold;
+      options.num_threads = scheme.num_threads;
       core::MappingPipeline pipeline(tree, options);
       const auto mapping = pipeline.run_all(workload.program, space);
       if (report == "codegen") {
