@@ -132,7 +132,11 @@ int main(int argc, char** argv) {
   // rejects arguments it does not recognize.
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--json=", 0) == 0) continue;
+    const std::string arg(argv[i]);
+    if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0 ||
+        arg.rfind("--metrics=", 0) == 0) {
+      continue;
+    }
     bench_argv.push_back(argv[i]);
   }
   int bench_argc = static_cast<int>(bench_argv.size());

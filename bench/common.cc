@@ -2,11 +2,18 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/string_util.h"
 #include "support/units.h"
+
+#ifndef MLSC_BUILD_TYPE
+#define MLSC_BUILD_TYPE "unknown"
+#endif
 
 namespace mlsc::bench {
 
@@ -17,11 +24,30 @@ struct JsonState {
   std::string path;
   std::vector<std::pair<std::string, Table>> tables;
   bool written = false;
+  // Run metadata, stashed as the bench binary sets up.
+  std::string machine;  // last print_header machine description
+  std::vector<std::string> apps;
+  // Observability flags.
+  std::string metrics_path;
+  bool trace_started = false;
 };
 
 JsonState& json_state() {
   static JsonState state;
   return state;
+}
+
+/// atexit hook: closes the trace session and dumps the metrics registry.
+void flush_observability() {
+  JsonState& state = json_state();
+  if (state.trace_started) {
+    mlsc::obs::stop_trace();
+    state.trace_started = false;
+  }
+  if (!state.metrics_path.empty()) {
+    mlsc::obs::write_metrics_file(state.metrics_path);
+    state.metrics_path.clear();
+  }
 }
 
 }  // namespace
@@ -33,6 +59,7 @@ void parse_common_flags(int argc, char** argv) {
     const std::size_t slash = state.binary.find_last_of('/');
     if (slash != std::string::npos) state.binary = state.binary.substr(slash + 1);
   }
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
@@ -41,9 +68,29 @@ void parse_common_flags(int argc, char** argv) {
         std::cerr << "error: --json needs a path: --json=<path>\n";
         std::exit(2);
       }
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace=").size());
+      if (trace_path.empty()) {
+        std::cerr << "error: --trace needs a path: --trace=<path>\n";
+        std::exit(2);
+      }
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      state.metrics_path = arg.substr(std::string("--metrics=").size());
+      if (state.metrics_path.empty()) {
+        std::cerr << "error: --metrics needs a path: --metrics=<path>\n";
+        std::exit(2);
+      }
     }
   }
   if (!state.path.empty()) std::atexit(write_json_output);
+  if (!trace_path.empty()) {
+    mlsc::obs::start_trace(trace_path);
+    state.trace_started = true;
+  }
+  if (!state.metrics_path.empty()) mlsc::obs::set_metrics_enabled(true);
+  if (state.trace_started || !state.metrics_path.empty()) {
+    std::atexit(flush_observability);
+  }
 }
 
 const std::string& json_output_path() { return json_state().path; }
@@ -56,7 +103,20 @@ void write_json_output() {
     std::cerr << "[bench] cannot open " << state.path << " for writing\n";
     return;
   }
-  out << "{\"binary\": \"" << state.binary << "\", \"tables\": [";
+  out << "{\"binary\": ";
+  write_json_string(out, state.binary);
+  // Run metadata so a saved JSON identifies its own configuration.
+  out << ", \"metadata\": {\"machine\": ";
+  write_json_string(out, state.machine);
+  out << ", \"apps\": [";
+  for (std::size_t i = 0; i < state.apps.size(); ++i) {
+    if (i != 0) out << ", ";
+    write_json_string(out, state.apps[i]);
+  }
+  out << "], \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ", \"build_type\": ";
+  write_json_string(out, MLSC_BUILD_TYPE);
+  out << "}, \"tables\": [";
   for (std::size_t i = 0; i < state.tables.size(); ++i) {
     if (i != 0) out << ",";
     out << "\n  ";
@@ -71,14 +131,19 @@ std::vector<std::string> bench_apps(const std::vector<std::string>& defaults) {
   std::vector<std::string> base =
       defaults.empty() ? workloads::workload_names() : defaults;
   const char* env = std::getenv("MLSC_BENCH_APPS");
-  if (env == nullptr || *env == '\0') return base;
+  if (env == nullptr || *env == '\0') {
+    json_state().apps = base;
+    return base;
+  }
   std::vector<std::string> out;
   for (const auto& name : split(env, ',')) {
     for (const auto& known : base) {
       if (known == name) out.push_back(name);
     }
   }
-  return out.empty() ? base : out;
+  if (out.empty()) out = base;
+  json_state().apps = out;
+  return out;
 }
 
 bool csv_requested() {
@@ -88,6 +153,7 @@ bool csv_requested() {
 
 void print_header(const std::string& title,
                   const sim::MachineConfig& config) {
+  json_state().machine = config.to_string();
   std::cout << "== " << title << " ==\n"
             << "paper: Kandemir et al., Computation Mapping for Multi-Level "
                "Storage Cache Hierarchies, HPDC'10\n"

@@ -7,8 +7,12 @@
 //   MLSC_BENCH_APPS=hf,sar,...   restrict the application list
 //   MLSC_BENCH_CSV=1             additionally print CSV blocks
 // Command-line flags (parse_common_flags):
-//   --json=<path>   also write every printed table to <path> as one JSON
-//                   document (same format across all bench binaries)
+//   --json=<path>     also write every printed table to <path> as one JSON
+//                     document (same format across all bench binaries),
+//                     stamped with run metadata (machine, apps, threads,
+//                     build type)
+//   --trace=<path>    record a Chrome trace_event timeline of the run
+//   --metrics=<path>  dump the metrics registry as JSON on exit
 #pragma once
 
 #include <iostream>
@@ -30,10 +34,11 @@ std::vector<std::string> bench_apps(
 /// True when CSV output was requested.
 bool csv_requested();
 
-/// Parses the flags shared by every bench binary (currently --json=<path>).
-/// Unknown arguments are left alone for the binary to interpret.  When
-/// --json is given, every table passed to print_table is collected and the
-/// whole set is written to <path> on exit (or via write_json_output).
+/// Parses the flags shared by every bench binary (--json=<path>,
+/// --trace=<path>, --metrics=<path>).  Unknown arguments are left alone
+/// for the binary to interpret.  When --json is given, every table passed
+/// to print_table is collected and the whole set is written to <path> on
+/// exit (or via write_json_output); --trace/--metrics flush on exit too.
 void parse_common_flags(int argc, char** argv);
 
 /// Path given via --json=<path>, or "" when JSON output was not requested.

@@ -1,8 +1,30 @@
 #include "cache/multilevel.h"
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace mlsc::cache {
+
+namespace {
+
+/// Metric prefix per hierarchy level: compute-node caches are "L1",
+/// I/O-node caches "L2", storage-node caches "L3" (paper §3's three
+/// cache levels).  The dummy root never carries a cache.
+const char* metric_prefix(topology::NodeKind kind) {
+  switch (kind) {
+    case topology::NodeKind::kCompute:
+      return "cache.l1";
+    case topology::NodeKind::kIo:
+      return "cache.l2";
+    case topology::NodeKind::kStorage:
+      return "cache.l3";
+    case topology::NodeKind::kDummyRoot:
+      break;
+  }
+  return "cache.other";
+}
+
+}  // namespace
 
 const char* placement_mode_name(PlacementMode mode) {
   switch (mode) {
@@ -31,6 +53,9 @@ MultiLevelCache::MultiLevelCache(const topology::HierarchyTree& tree,
     MLSC_CHECK(chunks > 0, "cache at " << node.name
                                        << " smaller than one chunk");
     caches_[id] = std::make_unique<StorageCache>(node.name, chunks, policy);
+    if (obs::metrics_enabled()) {
+      caches_[id]->bind_metrics(metric_prefix(node.kind));
+    }
   }
 }
 

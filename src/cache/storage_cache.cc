@@ -1,5 +1,7 @@
 #include "cache/storage_cache.h"
 
+#include "obs/metrics.h"
+
 namespace mlsc::cache {
 
 CacheStats& CacheStats::operator+=(const CacheStats& other) {
@@ -16,24 +18,44 @@ StorageCache::StorageCache(std::string name, std::size_t capacity_chunks,
                            PolicyKind policy)
     : name_(std::move(name)), core_(make_policy(policy, capacity_chunks)) {}
 
+void StorageCache::bind_metrics(const std::string& prefix) {
+  if (!obs::metrics_enabled()) {
+    metrics_ = BoundCounters{};
+    return;
+  }
+  auto& registry = obs::Registry::global();
+  metrics_.accesses = &registry.counter(prefix + ".accesses");
+  metrics_.hits = &registry.counter(prefix + ".hits");
+  metrics_.misses = &registry.counter(prefix + ".misses");
+  metrics_.insertions = &registry.counter(prefix + ".insertions");
+  metrics_.evictions = &registry.counter(prefix + ".evictions");
+  metrics_.dirty_evictions = &registry.counter(prefix + ".dirty_evictions");
+}
+
 bool StorageCache::access(ChunkId id) {
   ++stats_.accesses;
+  if (metrics_.accesses != nullptr) metrics_.accesses->inc();
   if (core_->touch(id)) {
     ++stats_.hits;
+    if (metrics_.hits != nullptr) metrics_.hits->inc();
     return true;
   }
   ++stats_.misses;
+  if (metrics_.misses != nullptr) metrics_.misses->inc();
   return false;
 }
 
 std::optional<StorageCache::Evicted> StorageCache::insert(ChunkId id) {
   auto evicted = core_->insert(id);
   ++stats_.insertions;
+  if (metrics_.insertions != nullptr) metrics_.insertions->inc();
   if (!evicted.has_value()) return std::nullopt;
   ++stats_.evictions;
+  if (metrics_.evictions != nullptr) metrics_.evictions->inc();
   Evicted out{*evicted, dirty_.count(*evicted) != 0};
   if (out.dirty) {
     ++stats_.dirty_evictions;
+    if (metrics_.dirty_evictions != nullptr) metrics_.dirty_evictions->inc();
     dirty_.erase(out.chunk);
   }
   return out;

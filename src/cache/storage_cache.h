@@ -10,6 +10,10 @@
 
 #include "cache/policy.h"
 
+namespace mlsc::obs {
+class Counter;
+}  // namespace mlsc::obs
+
 namespace mlsc::cache {
 
 struct CacheStats {
@@ -68,11 +72,27 @@ class StorageCache {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 
+  /// Mirrors this cache's stat increments into the global metrics
+  /// registry under `<prefix>.<measure>` (e.g. "cache.l1.hits").  No-op
+  /// when metrics are disabled at call time; binding is per instance so
+  /// several caches may share one prefix (their counts then sum).
+  void bind_metrics(const std::string& prefix);
+
  private:
+  struct BoundCounters {
+    obs::Counter* accesses = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* insertions = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* dirty_evictions = nullptr;
+  };
+
   std::string name_;
   std::unique_ptr<PolicyCore> core_;
   CacheStats stats_;
   std::unordered_set<ChunkId> dirty_;
+  BoundCounters metrics_;
 };
 
 }  // namespace mlsc::cache

@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mlsc::core {
@@ -146,6 +148,8 @@ void merge_to_count(std::vector<Cluster>& clusters, std::size_t target,
       acc[b] = 0;
     }
   };
+  obs::Span sweep_span("pipeline.similarity_sweep");
+  sweep_span.arg("clusters", static_cast<std::uint64_t>(n));
   if (pool != nullptr && pool->num_threads() > 1 && n >= 256) {
     // Parallel initial scoring: index every cluster first (read-only
     // thereafter), then score each cluster a against the indexed b < a
@@ -194,6 +198,9 @@ void merge_to_count(std::vector<Cluster>& clusters, std::size_t target,
       index_cluster(a);
     }
   }
+  sweep_span.arg("candidates", static_cast<std::uint64_t>(heap.size()));
+  sweep_span.end();
+  MLSC_COUNTER_ADD("pipeline.sweep_candidates", heap.size());
 
   // Zero-sharing fallback order, built lazily the first time the heap
   // runs dry.  Every alive pair with a nonzero dot always has a valid
@@ -323,6 +330,11 @@ void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
                       ThreadPool* pool) {
   MLSC_CHECK(target >= 1, "target cluster count must be at least 1");
   MLSC_CHECK(!clusters.empty(), "cannot cluster an empty set");
+
+  obs::Span span("pipeline.clustering");
+  span.arg("input_clusters", static_cast<std::uint64_t>(clusters.size()));
+  span.arg("target", static_cast<std::uint64_t>(target));
+  MLSC_COUNTER_INC("pipeline.clustering_calls");
 
   if (clusters.size() > target) {
     merge_to_count(clusters, target, pool);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mlsc::core {
@@ -131,6 +133,8 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
                              const BalanceLimits* explicit_limits,
                              ThreadPool* pool) {
   MLSC_CHECK(!clusters.empty(), "cannot balance an empty cluster set");
+  obs::Span span("pipeline.load_balance");
+  span.arg("clusters", static_cast<std::uint64_t>(clusters.size()));
   const std::uint64_t total = total_iterations(clusters);
   auto limits = balance_limits(total, clusters.size(), options.threshold);
   if (explicit_limits != nullptr) {
@@ -248,6 +252,8 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
     ++moves;
     MLSC_CHECK(moves < 200000, "balance lower pass did not converge");
   }
+  span.arg("moves", static_cast<std::uint64_t>(moves));
+  MLSC_COUNTER_ADD("pipeline.balance_moves", moves);
   return moves;
 }
 

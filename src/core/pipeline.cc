@@ -3,6 +3,8 @@
 #include <numeric>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mlsc::core {
@@ -28,6 +30,7 @@ MappingResult MappingPipeline::run(const poly::Program& program,
       break;
   }
 
+  obs::Span pipeline_span("pipeline.run");
   std::optional<ThreadPool> pool_storage;
   ThreadPool* pool = nullptr;
   if (resolve_num_threads(options_.num_threads) > 1) {
@@ -37,13 +40,19 @@ MappingResult MappingPipeline::run(const poly::Program& program,
   auto tagging =
       compute_iteration_chunks(program, space, nests, options_.tagging, pool);
   auto chunks = std::move(tagging.chunks);
+  pipeline_span.arg("nests", static_cast<std::uint64_t>(nests.size()));
+  pipeline_span.arg("iterations", tagging.total_iterations);
 
   // Dependence handling, strategy 1: pre-merge dependent chunks so the
   // clustering can never separate them.
   std::vector<ChunkDependence> all_deps;
-  for (poly::NestId nest_id : nests) {
-    auto deps = find_chunk_dependences(program, nest_id, chunks);
-    all_deps.insert(all_deps.end(), deps.begin(), deps.end());
+  {
+    obs::Span span("pipeline.dependences");
+    for (poly::NestId nest_id : nests) {
+      auto deps = find_chunk_dependences(program, nest_id, chunks);
+      all_deps.insert(all_deps.end(), deps.begin(), deps.end());
+    }
+    span.arg("edges", static_cast<std::uint64_t>(all_deps.size()));
   }
   if (options_.dependences == DependenceStrategy::kMergeClusters &&
       !all_deps.empty()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mlsc::core {
@@ -204,6 +205,9 @@ void schedule_mapping(MappingResult& mapping,
              "scheduling applies to the inter-processor mapping");
   MLSC_CHECK(mapping.num_clients() == tree.num_clients(),
              "mapping client count does not match the tree");
+
+  obs::Span span("pipeline.scheduling");
+  span.arg("clients", static_cast<std::uint64_t>(mapping.num_clients()));
 
   // Group clients by their parent (I/O-level) node, in leaf order.
   const std::uint32_t leaf_level = tree.num_levels() - 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mlsc::core {
@@ -130,6 +132,7 @@ TaggingResult compute_iteration_chunks(const poly::Program& program,
                                        std::span<const poly::NestId> nests,
                                        const TaggingOptions& options,
                                        ThreadPool* pool) {
+  obs::Span span("pipeline.tagging");
   TaggingResult result;
   result.num_data_chunks = space.num_chunks();
 
@@ -182,6 +185,11 @@ TaggingResult compute_iteration_chunks(const poly::Program& program,
   MLSC_CHECK(covered == result.total_iterations,
              "iteration chunks do not partition the iteration set: "
                  << covered << " vs " << result.total_iterations);
+  span.arg("chunks", static_cast<std::uint64_t>(result.chunks.size()));
+  span.arg("iterations", result.total_iterations);
+  span.arg("coarsened", std::uint64_t{result.coarsened ? 1u : 0u});
+  MLSC_GAUGE_SET("pipeline.iteration_chunks",
+                 static_cast<double>(result.chunks.size()));
   return result;
 }
 

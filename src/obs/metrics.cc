@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "obs/trace.h"
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace mlsc::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  if (enabled) detail_install_pool_observer();
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  MLSC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                 std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                     bounds_.end(),
+             "histogram bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                                value) -
+                               bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add(double) needs C++20 library support; a CAS loop is portable.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  MLSC_CHECK(i <= bounds_.size(), "histogram bucket out of range");
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    ";
+    write_json_string(out, name);
+    out << ": " << c->value();
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    ";
+    write_json_string(out, name);
+    out << ": " << json_number(g->value());
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    ";
+    write_json_string(out, name);
+    out << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i != 0) out << ", ";
+      out << json_number(h->bounds()[i]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i != 0) out << ", ";
+      out << h->bucket_count(i);
+    }
+    out << "], \"count\": " << h->total_count()
+        << ", \"sum\": " << json_number(h->sum()) << "}";
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[obs] cannot open " << path << " for writing\n";
+    return false;
+  }
+  Registry::global().write_json(out);
+  return out.good();
+}
+
+}  // namespace mlsc::obs

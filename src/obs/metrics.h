@@ -1,0 +1,156 @@
+// Thread-safe metrics registry: named counters, gauges and fixed-bucket
+// histograms.
+//
+// The registry is process-global and append-only: instruments are
+// created on first use and live for the life of the process, so code may
+// cache `Counter&` / `Histogram&` references (the macros below do this
+// with a function-local static).  All mutation is lock-free atomics;
+// registration takes a mutex once per instrument.
+//
+// Everything is gated on one relaxed atomic flag: with metrics disabled
+// (the default) the macros cost a single load and no instrument is ever
+// registered, so library users and tests that never pass --metrics pay
+// nothing.
+//
+// Naming scheme (DESIGN.md §12): dotted lowercase
+// `<subsystem>.<object>.<measure>[_<unit>]`, e.g. `cache.l1.hits`,
+// `pool.busy_ns`, `engine.access_latency_ns`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlsc::obs {
+
+/// True when metric recording is on (--metrics was given).
+bool metrics_enabled();
+
+/// Turns metric recording on or off.  Enabling also installs the thread
+/// pool observer so pool busy/idle counters accumulate.
+void set_metrics_enabled(bool enabled);
+
+/// A monotonically increasing count.
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram.  Bucket i counts observations <= bounds[i];
+/// one implicit overflow bucket counts the rest.  Bounds are fixed at
+/// registration (first use) and must be strictly increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t total_count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The process-global instrument registry.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Finds or creates the named instrument.  References stay valid for
+  /// the life of the process (instruments are never destroyed; reset()
+  /// only zeroes them).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only when the histogram does not exist yet.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Zeroes every instrument (tests; instruments stay registered).
+  void reset();
+
+  /// One JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} using the shared Table::print_json emitter
+  /// (names sorted, non-finite doubles rendered as null).
+  void write_json(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Writes Registry::global()'s JSON dump to `path`; returns false (and
+/// logs to stderr) when the file cannot be written.
+bool write_metrics_file(const std::string& path);
+
+}  // namespace mlsc::obs
+
+// Zero-overhead-when-disabled recording macros: one relaxed atomic load
+// when metrics are off; a cached registry lookup plus one atomic RMW when
+// on.  Names must be string literals (or at least stable for the call
+// site — the instrument is resolved once per site).
+#define MLSC_COUNTER_ADD(name, delta)                              \
+  do {                                                             \
+    if (::mlsc::obs::metrics_enabled()) {                          \
+      static ::mlsc::obs::Counter& mlsc_obs_counter_ =             \
+          ::mlsc::obs::Registry::global().counter(name);           \
+      mlsc_obs_counter_.add(delta);                                \
+    }                                                              \
+  } while (false)
+
+#define MLSC_COUNTER_INC(name) MLSC_COUNTER_ADD(name, 1)
+
+#define MLSC_GAUGE_SET(name, value)                                \
+  do {                                                             \
+    if (::mlsc::obs::metrics_enabled()) {                          \
+      static ::mlsc::obs::Gauge& mlsc_obs_gauge_ =                 \
+          ::mlsc::obs::Registry::global().gauge(name);             \
+      mlsc_obs_gauge_.set(static_cast<double>(value));             \
+    }                                                              \
+  } while (false)
+
+/// Trailing arguments are the bucket upper bounds, used on first use.
+#define MLSC_HISTOGRAM_OBSERVE(name, value, ...)                   \
+  do {                                                             \
+    if (::mlsc::obs::metrics_enabled()) {                          \
+      static ::mlsc::obs::Histogram& mlsc_obs_histogram_ =         \
+          ::mlsc::obs::Registry::global().histogram(name,          \
+                                                    {__VA_ARGS__}); \
+      mlsc_obs_histogram_.observe(static_cast<double>(value));     \
+    }                                                              \
+  } while (false)

@@ -1,0 +1,295 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+#include "support/obs_hook.h"
+#include "support/string_util.h"
+
+namespace mlsc::obs {
+
+namespace {
+
+struct Event {
+  std::string name;
+  char ph = 'X';  // 'X' complete, 'M' metadata
+  std::int64_t pid = kRealtimePid;
+  std::int64_t tid = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  // Values are pre-rendered JSON tokens.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+struct Session {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::string path;
+  std::uint64_t start_ns = 0;  // absolute steady-clock origin
+  // Real-time tids that already have a thread_name metadata event.
+  std::unordered_set<std::int64_t> named_tids;
+};
+
+std::atomic<bool> g_trace_enabled{false};
+
+Session& session() {
+  static Session* s = new Session();  // never destroyed
+  return *s;
+}
+
+/// Small dense ids for application threads on the real-time track.
+std::int64_t current_tid() {
+  static std::atomic<std::int64_t> next{0};
+  thread_local std::int64_t tid = next.fetch_add(1);
+  return tid;
+}
+
+/// Appends a real-time event, materializing the tid's thread_name
+/// metadata on first sight.  Caller supplies session-relative times.
+void append_realtime(Session& s, Event event, const std::string& tid_name) {
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.named_tids.insert(event.tid).second) {
+    Event meta;
+    meta.name = "thread_name";
+    meta.ph = 'M';
+    meta.pid = kRealtimePid;
+    meta.tid = event.tid;
+    meta.args.emplace_back("name", json_quote(tid_name));
+    s.events.push_back(std::move(meta));
+  }
+  s.events.push_back(std::move(event));
+}
+
+std::uint64_t relative_ns(const Session& s, std::uint64_t absolute_ns) {
+  return absolute_ns > s.start_ns ? absolute_ns - s.start_ns : 0;
+}
+
+// --- thread pool observer -------------------------------------------------
+
+void pool_interval(const char* what, const char* counter_name, bool is_chunk,
+                   std::size_t thread_index, std::uint64_t start_ns,
+                   std::uint64_t end_ns) {
+  const std::uint64_t dur = end_ns > start_ns ? end_ns - start_ns : 0;
+  if (metrics_enabled()) {
+    Registry::global().counter(counter_name).add(dur);
+    if (is_chunk) Registry::global().counter("pool.chunks").inc();
+  }
+  if (!trace_enabled()) return;
+  Session& s = session();
+  Event event;
+  event.name = what;
+  event.pid = kRealtimePid;
+  event.tid = kPoolTidBase + static_cast<std::int64_t>(thread_index);
+  event.ts_ns = relative_ns(s, start_ns);
+  event.dur_ns = dur;
+  append_realtime(s, std::move(event),
+                  "pool thread " + std::to_string(thread_index));
+}
+
+void pool_chunk_done(std::size_t thread_index, std::uint64_t start_ns,
+                     std::uint64_t end_ns) {
+  pool_interval("pool chunk", "pool.busy_ns", /*is_chunk=*/true, thread_index,
+                start_ns, end_ns);
+}
+
+void pool_idle_done(std::size_t thread_index, std::uint64_t start_ns,
+                    std::uint64_t end_ns) {
+  pool_interval("pool idle", "pool.idle_ns", /*is_chunk=*/false, thread_index,
+                start_ns, end_ns);
+}
+
+constexpr detail::PoolObserver kPoolObserver{pool_chunk_done, pool_idle_done};
+
+void write_event(std::ostream& out, const Event& e) {
+  char buf[32];
+  out << "{\"name\": ";
+  write_json_string(out, e.name);
+  out << ", \"ph\": \"" << e.ph << "\", \"pid\": " << e.pid
+      << ", \"tid\": " << e.tid;
+  if (e.ph == 'X') {
+    // trace_event timestamps are microseconds; keep ns precision with a
+    // fixed three decimals.
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(e.ts_ns / 1000),
+                  static_cast<unsigned long long>(e.ts_ns % 1000));
+    out << ", \"ts\": " << buf;
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(e.dur_ns / 1000),
+                  static_cast<unsigned long long>(e.dur_ns % 1000));
+    out << ", \"dur\": " << buf;
+  }
+  if (!e.args.empty()) {
+    out << ", \"args\": {";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      if (i != 0) out << ", ";
+      write_json_string(out, e.args[i].first);
+      out << ": " << e.args[i].second;
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void detail_install_pool_observer() { detail::set_pool_observer(&kPoolObserver); }
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void start_trace(const std::string& path) {
+  Session& s = session();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.clear();
+    s.named_tids.clear();
+    s.path = path;
+    s.start_ns = detail::steady_now_ns();
+  }
+  detail_install_pool_observer();
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+  set_process_name(kRealtimePid, "mlsc");
+}
+
+std::uint64_t trace_now_ns() {
+  if (!trace_enabled()) return 0;
+  return relative_ns(session(), detail::steady_now_ns());
+}
+
+void write_trace_json(std::ostream& out) {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\n";
+    write_event(out, s.events[i]);
+  }
+  out << "\n]}\n";
+}
+
+bool stop_trace() {
+  if (!trace_enabled()) return false;
+  g_trace_enabled.store(false, std::memory_order_relaxed);
+  Session& s = session();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    path = s.path;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[obs] cannot open " << path << " for writing\n";
+    return false;
+  }
+  write_trace_json(out);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.clear();
+    s.named_tids.clear();
+  }
+  return out.good();
+}
+
+void emit_complete(std::int64_t pid, std::int64_t tid, std::string name,
+                   std::uint64_t ts_ns, std::uint64_t dur_ns,
+                   std::vector<std::pair<std::string, std::string>> args) {
+  if (!trace_enabled()) return;
+  Session& s = session();
+  Event event;
+  event.name = std::move(name);
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back(std::move(event));
+}
+
+void set_process_name(std::int64_t pid, const std::string& name) {
+  if (!trace_enabled()) return;
+  Session& s = session();
+  Event event;
+  event.name = "process_name";
+  event.ph = 'M';
+  event.pid = pid;
+  event.args.emplace_back("name", json_quote(name));
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back(std::move(event));
+}
+
+void set_thread_name(std::int64_t pid, std::int64_t tid,
+                     const std::string& name) {
+  if (!trace_enabled()) return;
+  Session& s = session();
+  Event event;
+  event.name = "thread_name";
+  event.ph = 'M';
+  event.pid = pid;
+  event.tid = tid;
+  event.args.emplace_back("name", json_quote(name));
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back(std::move(event));
+}
+
+std::uint32_t client_event_budget() {
+  static const std::uint32_t budget = [] {
+    const char* env = std::getenv("MLSC_TRACE_CLIENT_EVENTS");
+    if (env != nullptr && *env != '\0') {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::uint32_t>(v);
+    }
+    return 4096u;
+  }();
+  return budget;
+}
+
+Span::Span(const char* name) : enabled_(trace_enabled()) {
+  if (!enabled_) return;
+  name_ = name;
+  start_ns_ = trace_now_ns();
+}
+
+Span::~Span() { end(); }
+
+void Span::end() {
+  if (!enabled_ || !trace_enabled()) return;
+  enabled_ = false;
+  Session& s = session();
+  const std::uint64_t end_ns = trace_now_ns();
+  const std::int64_t tid = current_tid();
+  Event event;
+  event.name = name_;
+  event.pid = kRealtimePid;
+  event.tid = tid;
+  event.ts_ns = start_ns_;
+  event.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  event.args = std::move(args_);
+  append_realtime(s, std::move(event), "thread " + std::to_string(tid));
+}
+
+void Span::arg(const char* key, std::uint64_t value) {
+  if (!enabled_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void Span::arg(const char* key, double value) {
+  if (!enabled_) return;
+  args_.emplace_back(key, json_number(value));
+}
+
+void Span::arg(const char* key, const std::string& value) {
+  if (!enabled_) return;
+  args_.emplace_back(key, json_quote(value));
+}
+
+}  // namespace mlsc::obs

@@ -1,0 +1,106 @@
+// RAII span tracing to Chrome trace_event JSON.
+//
+// One process-global session: start_trace(path) turns tracing on,
+// stop_trace() writes `{"traceEvents": [...]}` to the path — load it in
+// chrome://tracing or https://ui.perfetto.dev.  Two kinds of timeline
+// coexist:
+//
+//   - Real time (pid 0, "mlsc"): `Span` measures the enclosing scope on
+//     the current OS thread (one tid per thread); the thread pool's
+//     chunk/idle intervals land on tids kPoolTidBase+i.  Used for the
+//     mapping pipeline phases.
+//   - Simulated time (pid kClientPidBase + client): the engine emits
+//     explicit intervals with virtual-nanosecond timestamps via
+//     emit_complete, one process track per simulated client, capped at
+//     client_event_budget() events per client to bound trace size.
+//
+// Everything is a no-op when tracing is off; constructing a Span then
+// costs one relaxed atomic load.  Event buffering takes a mutex per
+// event — fine for the span rates here (phases, pool chunks, sampled
+// engine intervals), not meant for per-cache-access events.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mlsc::obs {
+
+/// Real-time track: the host process.
+inline constexpr std::int64_t kRealtimePid = 0;
+/// Simulated client c gets pid kClientPidBase + c.
+inline constexpr std::int64_t kClientPidBase = 1;
+/// Thread-pool thread i gets tid kPoolTidBase + i on pid 0 (app threads
+/// use small obs-assigned tids).
+inline constexpr std::int64_t kPoolTidBase = 1000;
+
+/// True while a trace session is recording.
+bool trace_enabled();
+
+/// Starts (or restarts) the global session recording to `path`.
+void start_trace(const std::string& path);
+
+/// Stops recording and writes the JSON file.  Returns false when no
+/// session was active or the file could not be written.
+bool stop_trace();
+
+/// Serializes the buffered events as a complete trace_event JSON
+/// document (what stop_trace writes).
+void write_trace_json(std::ostream& out);
+
+/// Nanoseconds since the session started (0 when tracing is off).
+std::uint64_t trace_now_ns();
+
+/// An explicit complete event ("ph":"X") on an arbitrary pid/tid with
+/// caller-supplied timestamps — the engine's virtual timelines.  Args
+/// values must be pre-rendered JSON tokens (use json_quote/json_number
+/// or raw integers).  No-op when tracing is off.
+void emit_complete(
+    std::int64_t pid, std::int64_t tid, std::string name, std::uint64_t ts_ns,
+    std::uint64_t dur_ns,
+    std::vector<std::pair<std::string, std::string>> args = {});
+
+/// Metadata: names a process / thread track in the viewer.
+void set_process_name(std::int64_t pid, const std::string& name);
+void set_thread_name(std::int64_t pid, std::int64_t tid,
+                     const std::string& name);
+
+/// Per-simulated-client event cap (default 4096; override with the
+/// MLSC_TRACE_CLIENT_EVENTS environment variable).
+std::uint32_t client_event_budget();
+
+/// Measures the enclosing scope as a complete event on the real-time
+/// timeline.  When tracing is off, construction is one atomic load and
+/// everything else is skipped.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches "args" shown in the viewer's detail pane.
+  void arg(const char* key, std::uint64_t value);
+  void arg(const char* key, double value);
+  void arg(const char* key, const std::string& value);
+
+  /// Closes the span before the end of scope (the destructor then does
+  /// nothing).  Useful when the measured region is a prefix of a scope.
+  void end();
+
+ private:
+  bool enabled_;
+  std::uint64_t start_ns_ = 0;
+  const char* name_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Installs the support-layer thread pool observer (idempotent).  Called
+/// by start_trace and set_metrics_enabled; exposed for the obs internals
+/// only.
+void detail_install_pool_observer();
+
+}  // namespace mlsc::obs

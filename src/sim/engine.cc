@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "io/striping.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mlsc::sim {
@@ -102,6 +104,35 @@ EngineResult run_engine(const Trace& trace,
 
   EngineResult result;
 
+  // Per-client virtual timelines: one trace process per simulated client
+  // (pid kClientPidBase + c), timestamped in simulated nanoseconds.  Each
+  // client's emission stops after client_event_budget() events so the
+  // trace file stays bounded on long replays.
+  const bool tracing = obs::trace_enabled();
+  std::vector<std::uint32_t> events_left;
+  if (tracing) {
+    events_left.assign(num_clients, obs::client_event_budget());
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      const auto pid = obs::kClientPidBase + static_cast<std::int64_t>(c);
+      obs::set_process_name(pid, "client " + std::to_string(c));
+      obs::set_thread_name(pid, 0, "replay");
+    }
+  }
+  auto emit_client = [&](std::size_t c, const char* name, Nanoseconds start,
+                         Nanoseconds dur) {
+    if (!tracing || dur == 0 || events_left[c] == 0) return;
+    --events_left[c];
+    obs::emit_complete(obs::kClientPidBase + static_cast<std::int64_t>(c), 0,
+                       name, start, dur);
+  };
+
+  obs::Histogram* latency_hist = nullptr;
+  if (obs::metrics_enabled()) {
+    latency_hist = &obs::Registry::global().histogram(
+        "engine.access_latency_ns",
+        {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9});
+  }
+
   // Marks an item finished and wakes clients blocked on it.
   auto complete_item = [&](std::size_t c, std::size_t item,
                            Nanoseconds when) {
@@ -111,6 +142,7 @@ EngineResult run_engine(const Trace& trace,
       ClientState& w = state[waiter];
       if (when > w.clock) {
         w.sync_wait += when - w.clock;
+        emit_client(waiter, "sync wait", w.clock, when - w.clock);
         w.clock = when;
       }
       heap.push(HeapEntry{w.clock, waiter});
@@ -155,12 +187,14 @@ EngineResult run_engine(const Trace& trace,
       if (blocked) continue;  // woken by complete_item
       if (ready > s.clock) {
         s.sync_wait += ready - s.clock;
+        emit_client(c, "sync wait", s.clock, ready - s.clock);
         s.clock = ready;
       }
     }
 
     // Execute one iteration: compute, then its accesses.
     const TraceItem& item = ct.items[s.item];
+    emit_client(c, "compute", s.clock, item.compute_ns_per_iteration);
     s.clock += item.compute_ns_per_iteration;
     s.compute_time += item.compute_ns_per_iteration;
 
@@ -186,19 +220,25 @@ EngineResult run_engine(const Trace& trace,
         ++result.disk_writebacks;
       }
       Nanoseconds latency = 0;
+      const char* stall = "disk";
       if (hit.peer_hit) {
         // Cooperative hit in a sibling's cache: two hops via the parent.
         latency = network.transfer_time(config.chunk_size_bytes, 2);
         result.time_peer_cache += latency;
         ++result.peer_hits;
+        stall = "peer hit";
       } else if (!hit.from_disk()) {
         const std::uint32_t hops =
             client_level - tree.node(hit.hit_node).level;
         latency = network.transfer_time(config.chunk_size_bytes, hops);
         if (hit.hit_node == client_node) {
           result.time_client_cache += latency;
+          stall = "l1 hit";
         } else {
           result.time_shared_cache += latency;
+          stall = tree.node(hit.hit_node).kind == topology::NodeKind::kIo
+                      ? "l2 hit"
+                      : "l3 hit";
         }
       } else {
         const std::size_t sn = striping.storage_node_of_chunk(access.chunk);
@@ -236,6 +276,10 @@ EngineResult run_engine(const Trace& trace,
           ++result.prefetches;
         }
       }
+      emit_client(c, stall, s.clock, latency);
+      if (latency_hist != nullptr) {
+        latency_hist->observe(static_cast<double>(latency));
+      }
       s.clock += latency;
       s.io_time += latency;
       ++result.accesses;
@@ -267,6 +311,16 @@ EngineResult run_engine(const Trace& trace,
   result.l1 = caches.aggregate_stats(topology::NodeKind::kCompute);
   result.l2 = caches.aggregate_stats(topology::NodeKind::kIo);
   result.l3 = caches.aggregate_stats(topology::NodeKind::kStorage);
+
+  MLSC_COUNTER_ADD("engine.accesses", result.accesses);
+  MLSC_COUNTER_ADD("engine.disk_requests", result.disk_requests);
+  MLSC_COUNTER_ADD("engine.disk_writebacks", result.disk_writebacks);
+  MLSC_COUNTER_ADD("engine.peer_hits", result.peer_hits);
+  MLSC_COUNTER_ADD("engine.prefetches", result.prefetches);
+  MLSC_COUNTER_ADD("engine.sync_wait_ns", result.sync_wait_total);
+  MLSC_COUNTER_ADD("engine.io_ns", result.io_time_total);
+  MLSC_COUNTER_ADD("engine.compute_ns", result.compute_time_total);
+  MLSC_GAUGE_SET("engine.exec_time_ns", result.exec_time);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace mlsc::sim {
@@ -37,8 +38,18 @@ ExperimentResult run_experiment(const workloads::Workload& workload,
 
   core::MappingPipeline pipeline(tree, options);
   const auto mapping = pipeline.run_all(workload.program, space);
-  const auto trace = generate_trace(workload.program, space, mapping);
-  const auto engine = run_engine(trace, mapping, config, tree);
+  Trace trace;
+  {
+    obs::Span span("sim.generate_trace");
+    trace = generate_trace(workload.program, space, mapping);
+    span.arg("clients", static_cast<std::uint64_t>(trace.clients.size()));
+  }
+  EngineResult engine;
+  {
+    obs::Span span("sim.run_engine");
+    engine = run_engine(trace, mapping, config, tree);
+    span.arg("accesses", engine.accesses);
+  }
 
   ExperimentResult result;
   result.workload = workload.name;

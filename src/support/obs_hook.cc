@@ -1,0 +1,17 @@
+#include "support/obs_hook.h"
+
+namespace mlsc::detail {
+
+namespace {
+std::atomic<const PoolObserver*> g_pool_observer{nullptr};
+}  // namespace
+
+const PoolObserver* pool_observer() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
+
+void set_pool_observer(const PoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+}  // namespace mlsc::detail

@@ -1,0 +1,45 @@
+// Observer seam between the support layer and the obs library.
+//
+// The thread pool lives in mlsc_support, below mlsc_obs in the link
+// order, so it cannot call the tracer/metrics registry directly.  The
+// obs library installs callbacks here instead; the pool's hot path pays
+// one relaxed pointer load when nobody is watching.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace mlsc::detail {
+
+/// Callbacks the obs layer installs to watch pool execution.  Both take
+/// absolute steady-clock nanosecond timestamps and the pool-local thread
+/// index (workers are 0..n-2, the participating caller thread is n-1).
+struct PoolObserver {
+  /// A claimed chunk of a parallel_chunks job finished executing.
+  void (*chunk_done)(std::size_t thread_index, std::uint64_t start_ns,
+                     std::uint64_t end_ns) = nullptr;
+  /// A worker woke up for a job after waiting idle since start_ns.
+  void (*idle_done)(std::size_t thread_index, std::uint64_t start_ns,
+                    std::uint64_t end_ns) = nullptr;
+};
+
+/// The installed observer, or nullptr (the common case).
+const PoolObserver* pool_observer();
+
+/// Installs `observer` process-wide.  Pass an object with static storage
+/// duration; there is no uninstall — the obs layer gates each callback on
+/// its own enabled flags instead.
+void set_pool_observer(const PoolObserver* observer);
+
+/// Absolute steady-clock timestamp in nanoseconds (the time base every
+/// observer callback uses).
+inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace mlsc::detail

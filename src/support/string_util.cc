@@ -1,8 +1,12 @@
 #include "support/string_util.h"
 
 #include <array>
+#include <cmath>
 #include <cstdio>
+#include <ostream>
 #include <sstream>
+
+#include "support/check.h"
 
 namespace mlsc {
 
@@ -40,6 +44,125 @@ std::string pad_left(const std::string& s, std::size_t width) {
 std::string pad_right(const std::string& s, std::size_t width) {
   if (s.size() >= width) return s;
   return s + std::string(width - s.size(), ' ');
+}
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  constexpr const char* kHex = "0123456789abcdef";
+  out << '"';
+  for (char c : s) {
+    const auto ch = static_cast<unsigned char>(c);
+    switch (ch) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\b':
+        out << "\\b";
+        break;
+      case '\f':
+        out << "\\f";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          out << "\\u00" << kHex[(ch >> 4) & 0xF] << kHex[ch & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string json_quote(std::string_view s) {
+  std::ostringstream out;
+  write_json_string(out, s);
+  return out.str();
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Shortest form that round-trips a double (C++17 guarantees 17
+  // significant decimal digits suffice); trailing zeros are harmless.
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.17g", value);
+  return buf.data();
+}
+
+std::string json_unquote(std::string_view literal) {
+  MLSC_CHECK(literal.size() >= 2 && literal.front() == '"' &&
+                 literal.back() == '"',
+             "JSON string literal must be quoted");
+  std::string out;
+  out.reserve(literal.size() - 2);
+  for (std::size_t i = 1; i + 1 < literal.size(); ++i) {
+    const char c = literal[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    MLSC_CHECK(i + 2 < literal.size(), "dangling escape in JSON string");
+    const char esc = literal[++i];
+    switch (esc) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case '/':
+        out += '/';
+        break;
+      case 'b':
+        out += '\b';
+        break;
+      case 'f':
+        out += '\f';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        MLSC_CHECK(i + 4 + 1 < literal.size(), "truncated \\u escape");
+        unsigned code = 0;
+        for (int d = 0; d < 4; ++d) {
+          const char h = literal[++i];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            MLSC_CHECK(false, "bad hex digit in \\u escape");
+          }
+        }
+        MLSC_CHECK(code <= 0x7F, "json_unquote only decodes ASCII \\u escapes");
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        MLSC_CHECK(false, "unknown JSON escape \\" << esc);
+    }
+  }
+  return out;
 }
 
 }  // namespace mlsc

@@ -84,39 +84,11 @@ void Table::print_csv(std::ostream& out) const {
 
 namespace {
 
-void emit_json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          out << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xF]
-              << "0123456789abcdef"[ch & 0xF];
-        } else {
-          out << ch;
-        }
-    }
-  }
-  out << '"';
-}
-
 void emit_json_cells(std::ostream& out, const std::vector<std::string>& cells) {
   out << '[';
   for (std::size_t c = 0; c < cells.size(); ++c) {
     if (c != 0) out << ", ";
-    emit_json_string(out, cells[c]);
+    write_json_string(out, cells[c]);
   }
   out << ']';
 }
@@ -125,7 +97,7 @@ void emit_json_cells(std::ostream& out, const std::vector<std::string>& cells) {
 
 void Table::print_json(std::ostream& out, const std::string& title) const {
   out << "{\"title\": ";
-  emit_json_string(out, title);
+  write_json_string(out, title);
   out << ", \"header\": ";
   emit_json_cells(out, header_);
   out << ", \"rows\": [";

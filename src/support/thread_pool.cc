@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "support/obs_hook.h"
 
 namespace mlsc {
 
@@ -16,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t total = resolve_num_threads(num_threads);
   workers_.reserve(total - 1);
   for (std::size_t i = 0; i + 1 < total; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -44,25 +45,33 @@ std::size_t ThreadPool::default_grain(std::size_t range) const {
   return std::max<std::size_t>(1, (range + target_chunks - 1) / target_chunks);
 }
 
-void ThreadPool::run_chunks(const Job& job) {
+void ThreadPool::run_chunks(const Job& job, std::size_t thread_index) {
   for (;;) {
     const std::size_t chunk = next_chunk_.fetch_add(1);
     if (chunk >= job.num_chunks) break;
     const std::size_t lo = job.begin + chunk * job.grain;
     const std::size_t hi = std::min(job.end, lo + job.grain);
+    const detail::PoolObserver* obs = detail::pool_observer();
+    const std::uint64_t start_ns =
+        obs != nullptr && obs->chunk_done != nullptr ? detail::steady_now_ns()
+                                                     : 0;
     try {
       (*job.body)(chunk, lo, hi);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    if (start_ns != 0) {
+      obs->chunk_done(thread_index, start_ns, detail::steady_now_ns());
+    }
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t thread_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     Job job;
+    const std::uint64_t wait_start_ns = detail::steady_now_ns();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       job_ready_.wait(lock, [&] {
@@ -72,7 +81,11 @@ void ThreadPool::worker_loop() {
       seen_generation = job_generation_;
       job = job_;
     }
-    run_chunks(job);
+    if (const detail::PoolObserver* obs = detail::pool_observer();
+        obs != nullptr && obs->idle_done != nullptr) {
+      obs->idle_done(thread_index, wait_start_ns, detail::steady_now_ns());
+    }
+    run_chunks(job, thread_index);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --workers_active_;
@@ -115,7 +128,7 @@ void ThreadPool::parallel_chunks(
   }
   job_ready_.notify_all();
 
-  run_chunks(job);  // the caller is a worker too
+  run_chunks(job, workers_.size());  // the caller is a worker too
 
   {
     std::unique_lock<std::mutex> lock(mutex_);

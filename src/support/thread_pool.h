@@ -80,8 +80,8 @@ class ThreadPool {
     std::size_t num_chunks = 0;
   };
 
-  void worker_loop();
-  void run_chunks(const Job& job);
+  void worker_loop(std::size_t thread_index);
+  void run_chunks(const Job& job, std::size_t thread_index);
 
   std::vector<std::thread> workers_;
 

@@ -80,6 +80,31 @@ TEST(Engine, RereadHitsClientCache) {
   EXPECT_LT(run.engine.disk_requests, run.engine.accesses);
 }
 
+TEST(Engine, StallComponentsSumToTotalIoTime) {
+  // Where-the-time-went breakdown is a partition of the I/O stall total,
+  // in both a disk-dominated and a cache-dominated run.
+  const poly::Program programs[] = {streaming_program(128), [] {
+    poly::Program p;
+    const auto a = p.add_array({"A", {2, 16}, 64 * kKiB});
+    poly::LoopNest nest;
+    nest.space = poly::IterationSpace::from_extents({2, 16});
+    nest.refs = {{a, poly::AccessMap::from_matrix({{0, 1}}, {0}), false}};
+    nest.compute_ns_per_iteration = 100;
+    p.add_nest(std::move(nest));
+    return p;
+  }()};
+  for (const auto& p : programs) {
+    for (const auto kind : {core::MapperKind::kOriginal,
+                            core::MapperKind::kInterProcessor}) {
+      const auto run = run_tiny(p, tiny_machine(), kind);
+      EXPECT_EQ(run.engine.time_client_cache + run.engine.time_shared_cache +
+                    run.engine.time_peer_cache + run.engine.time_disk,
+                run.engine.io_time_total);
+      EXPECT_LE(run.engine.time_disk_queue, run.engine.time_disk);
+    }
+  }
+}
+
 TEST(Engine, ComputeTimeAccountsPerIteration) {
   const auto p = streaming_program(64);
   const auto run = run_tiny(p, tiny_machine());

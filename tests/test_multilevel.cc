@@ -13,6 +13,55 @@ topology::HierarchyTree small_tree() {
   return topology::make_layered_hierarchy(4, 2, 1, 4 * 64, 4 * 64, 4 * 64);
 }
 
+TEST(CacheStatsUnit, PlusEqualsSumsEveryField) {
+  CacheStats a;
+  a.accesses = 10;
+  a.hits = 6;
+  a.misses = 4;
+  a.insertions = 4;
+  a.evictions = 2;
+  a.dirty_evictions = 1;
+  CacheStats b;
+  b.accesses = 5;
+  b.hits = 1;
+  b.misses = 4;
+  b.insertions = 3;
+  b.evictions = 3;
+  b.dirty_evictions = 2;
+  a += b;
+  EXPECT_EQ(a.accesses, 15u);
+  EXPECT_EQ(a.hits, 7u);
+  EXPECT_EQ(a.misses, 8u);
+  EXPECT_EQ(a.insertions, 7u);
+  EXPECT_EQ(a.evictions, 5u);
+  EXPECT_EQ(a.dirty_evictions, 3u);
+}
+
+TEST(CacheStatsUnit, MissRateHandlesZeroAccesses) {
+  CacheStats fresh;
+  EXPECT_DOUBLE_EQ(fresh.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(fresh.hit_rate(), 0.0);
+  fresh.accesses = 4;
+  fresh.misses = 1;
+  EXPECT_DOUBLE_EQ(fresh.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(fresh.hit_rate(), 0.75);
+}
+
+TEST(CacheStatsUnit, ResetStatsZeroesButKeepsContents) {
+  StorageCache cache("c", 2, PolicyKind::kLru);
+  cache.access(1);
+  cache.insert(1);
+  cache.access(1);
+  EXPECT_GT(cache.stats().accesses, 0u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  // Contents survive a stats reset.
+  EXPECT_TRUE(cache.contains(1));
+}
+
 TEST(StorageCacheUnit, CountsHitsAndMisses) {
   StorageCache cache("c", 2, PolicyKind::kLru);
   EXPECT_FALSE(cache.access(1));

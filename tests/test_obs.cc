@@ -1,0 +1,242 @@
+// Tests for the observability layer: metrics registry, recording macros,
+// trace sessions, thread-pool instrumentation, and the exact-match
+// guarantee between cache counters and EngineResult aggregates.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "support/thread_pool.h"
+#include "support/units.h"
+#include "workloads/registry.h"
+
+namespace mlsc {
+namespace {
+
+/// Turns metrics on for one test and restores the previous state.
+struct ScopedMetrics {
+  ScopedMetrics() : was_enabled(obs::metrics_enabled()) {
+    obs::set_metrics_enabled(true);
+    obs::Registry::global().reset();
+  }
+  ~ScopedMetrics() { obs::set_metrics_enabled(was_enabled); }
+  bool was_enabled;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  ScopedMetrics scoped;
+  auto& registry = obs::Registry::global();
+
+  auto& counter = registry.counter("test.counter");
+  counter.inc();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  EXPECT_EQ(&registry.counter("test.counter"), &counter);  // find, not create
+
+  auto& gauge = registry.gauge("test.gauge");
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+
+  auto& hist = registry.histogram("test.hist", {1.0, 10.0, 100.0});
+  hist.observe(0.5);
+  hist.observe(5.0);
+  hist.observe(50.0);
+  hist.observe(500.0);  // overflow bucket
+  EXPECT_EQ(hist.total_count(), 4u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 555.5);
+
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.total_count(), 0u);
+}
+
+TEST(Metrics, MacrosRecordOnlyWhenEnabled) {
+  // Disabled: the macro body must not touch the registry.
+  obs::set_metrics_enabled(false);
+  MLSC_COUNTER_INC("test.macro_counter");
+  {
+    ScopedMetrics scoped;
+    // The counter is registered lazily at the first enabled hit.
+    MLSC_COUNTER_INC("test.macro_counter");
+    MLSC_COUNTER_ADD("test.macro_counter", 9);
+    EXPECT_EQ(obs::Registry::global().counter("test.macro_counter").value(),
+              10u);
+    MLSC_GAUGE_SET("test.macro_gauge", 7);
+    EXPECT_DOUBLE_EQ(obs::Registry::global().gauge("test.macro_gauge").value(),
+                     7.0);
+    MLSC_HISTOGRAM_OBSERVE("test.macro_hist", 3.0, 1.0, 10.0);
+    EXPECT_EQ(obs::Registry::global()
+                  .histogram("test.macro_hist", {})
+                  .total_count(),
+              1u);
+  }
+  // Note: the function-local static in the macro keeps a reference, so a
+  // later disabled call is a no-op via the enabled check alone.
+  MLSC_COUNTER_INC("test.macro_counter");
+}
+
+TEST(Metrics, WriteJsonIsValidAndSorted) {
+  ScopedMetrics scoped;
+  auto& registry = obs::Registry::global();
+  registry.counter("b.counter").add(2);
+  registry.counter("a.counter").add(1);
+  registry.gauge("g.gauge").set(1.5);
+  registry.histogram("h.hist", {1.0, 2.0}).observe(1.5);
+
+  std::ostringstream out;
+  registry.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.counter\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.counter\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"g.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.hist\""), std::string::npos);
+  // Sorted maps: a.counter precedes b.counter.
+  EXPECT_LT(json.find("\"a.counter\""), json.find("\"b.counter\""));
+}
+
+TEST(Trace, SpanLifecycleWritesTraceEvents) {
+  const std::string path = ::testing::TempDir() + "mlsc_trace_test.json";
+  obs::start_trace(path);
+  {
+    obs::Span span("test.outer");
+    span.arg("count", std::uint64_t{7});
+    span.arg("ratio", 0.5);
+    span.arg("label", std::string("x\"y"));
+    obs::Span inner("test.inner");
+  }
+  obs::emit_complete(obs::kClientPidBase, 0, "virtual", 100, 50);
+  ASSERT_TRUE(obs::stop_trace());
+
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"x\\\"y\""), std::string::npos);
+  EXPECT_NE(json.find("\"virtual\""), std::string::npos);
+  // Stopping twice is a no-op.
+  EXPECT_FALSE(obs::stop_trace());
+  // Spans constructed after stop record nothing.
+  { obs::Span late("test.late"); }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, SpanEndClosesEarly) {
+  const std::string path = ::testing::TempDir() + "mlsc_trace_end.json";
+  obs::start_trace(path);
+  {
+    obs::Span span("test.early");
+    span.end();
+    span.end();  // second end is a no-op
+  }
+  ASSERT_TRUE(obs::stop_trace());
+  const std::string json = slurp(path);
+  // Exactly one completed event for the span despite destructor + end().
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("test.early"); pos != std::string::npos;
+       pos = json.find("test.early", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, PoolChunksAppearOnPoolThreads) {
+  const std::string path = ::testing::TempDir() + "mlsc_trace_pool.json";
+  obs::start_trace(path);
+  {
+    ThreadPool pool(2);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(0, 1000, 100, [&](std::size_t lo, std::size_t hi) {
+      std::uint64_t local = 0;
+      for (std::size_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 499500u);
+  }
+  ASSERT_TRUE(obs::stop_trace());
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"pool chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool thread 0\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, PoolCountersAccumulateBusyTime) {
+  ScopedMetrics scoped;
+  ThreadPool pool(2);
+  pool.parallel_for(0, 64, 8, [&](std::size_t, std::size_t) {});
+  EXPECT_GT(obs::Registry::global().counter("pool.chunks").value(), 0u);
+}
+
+// The headline guarantee: cache.l{1,2,3}.* counters and the
+// EngineResult aggregates derive from the same per-access increments,
+// so they match exactly.
+TEST(Metrics, CacheCountersMatchEngineResult) {
+  ScopedMetrics scoped;
+
+  sim::MachineConfig config;
+  config.clients = 4;
+  config.io_nodes = 2;
+  config.storage_nodes = 1;
+  config.client_cache_bytes = 8 * 64 * kKiB;
+  config.io_cache_bytes = 8 * 64 * kKiB;
+  config.storage_cache_bytes = 8 * 64 * kKiB;
+
+  const auto workload = workloads::make_workload("hf", 0.0625);
+  const auto result =
+      sim::run_experiment(workload, sim::SchemeSpec::inter(), config);
+  const auto& engine = result.engine;
+
+  auto& registry = obs::Registry::global();
+  EXPECT_EQ(registry.counter("cache.l1.accesses").value(),
+            engine.l1.accesses);
+  EXPECT_EQ(registry.counter("cache.l1.hits").value(), engine.l1.hits);
+  EXPECT_EQ(registry.counter("cache.l1.misses").value(), engine.l1.misses);
+  EXPECT_EQ(registry.counter("cache.l2.hits").value(), engine.l2.hits);
+  EXPECT_EQ(registry.counter("cache.l2.misses").value(), engine.l2.misses);
+  EXPECT_EQ(registry.counter("cache.l3.hits").value(), engine.l3.hits);
+  EXPECT_EQ(registry.counter("cache.l3.misses").value(), engine.l3.misses);
+  EXPECT_EQ(registry.counter("cache.l1.evictions").value(),
+            engine.l1.evictions);
+  EXPECT_EQ(registry.counter("engine.accesses").value(), engine.accesses);
+  EXPECT_EQ(registry.counter("engine.disk_requests").value(),
+            engine.disk_requests);
+  EXPECT_GT(engine.l1.accesses, 0u);
+
+  // The latency histogram saw every access.
+  EXPECT_EQ(registry.histogram("engine.access_latency_ns", {}).total_count(),
+            engine.accesses);
+}
+
+TEST(Metrics, WriteMetricsFileProducesJson) {
+  ScopedMetrics scoped;
+  obs::Registry::global().counter("file.counter").add(3);
+  const std::string path = ::testing::TempDir() + "mlsc_metrics_test.json";
+  ASSERT_TRUE(obs::write_metrics_file(path));
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"file.counter\": 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mlsc

@@ -2,6 +2,8 @@
 // units, RNG.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "support/check.h"
@@ -94,6 +96,49 @@ TEST(Table, QuotesCsvFields) {
 TEST(Table, RejectsBadRows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Json, QuoteEscapesSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+  EXPECT_EQ(json_quote("\x01\x1f"), "\"\\u0001\\u001f\"");
+}
+
+TEST(Json, QuoteUnquoteRoundTrips) {
+  const std::string cases[] = {
+      "",
+      "plain",
+      "quote \" backslash \\ slash /",
+      "controls \b\f\n\r\t",
+      std::string("embedded\0nul", 12),
+      "\x01\x02\x1e\x1f",
+      "mixed \"x\\\ty\n\" end",
+  };
+  for (const std::string& s : cases) {
+    EXPECT_EQ(json_unquote(json_quote(s)), s) << json_quote(s);
+  }
+}
+
+TEST(Json, NumberRendersNonFiniteAsNull) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, TablePrintJsonEscapesCells) {
+  Table t({"name", "value"});
+  t.add_row({"weird \"cell\"\n", "1"});
+  std::ostringstream out;
+  t.print_json(out, "title\twith tab");
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"weird \\\"cell\\\"\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"title\\twith tab\""), std::string::npos);
 }
 
 TEST(Units, FormatsBytesAndTime) {

@@ -12,12 +12,15 @@
 //            [--balance FRACTION] [--alpha A] [--beta B]
 //            [--write-back] [--cooperative] [--readahead N]
 //            [--size-factor F] [--threads N]
+//            [--trace PATH] [--metrics PATH]
 //            [--report stats|mapping|codegen|csv]
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/client_codegen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "support/string_util.h"
@@ -47,6 +50,8 @@ using namespace mlsc;
       << "  --size-factor F     workload data scale (default 1.0)\n"
       << "  --threads N         mapping-stage threads; 0 = all cores "
          "(default 1, result is identical for any value)\n"
+      << "  --trace PATH        write a Chrome trace_event JSON timeline\n"
+      << "  --metrics PATH      write the metrics registry as JSON\n"
       << "  --report KIND       stats|full|compare|mapping|codegen|csv (default stats)\n";
   std::exit(2);
 }
@@ -62,6 +67,8 @@ int main(int argc, char** argv) {
   sim::SchemeSpec scheme = sim::SchemeSpec::inter();
   double alpha = 0.5;
   double beta = 0.5;
+  std::string trace_path;
+  std::string metrics_path;
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0]);
@@ -70,7 +77,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     try {
-      if (arg == "--workload") {
+      if (arg.rfind("--trace=", 0) == 0) {
+        trace_path = arg.substr(std::strlen("--trace="));
+      } else if (arg == "--trace") {
+        trace_path = next_value(i);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        metrics_path = arg.substr(std::strlen("--metrics="));
+      } else if (arg == "--metrics") {
+        metrics_path = next_value(i);
+      } else if (arg == "--workload") {
         workload_name = next_value(i);
       } else if (arg == "--scheme") {
         scheme_name = next_value(i);
@@ -136,6 +151,18 @@ int main(int argc, char** argv) {
   } else {
     usage(argv[0]);
   }
+
+  if (!trace_path.empty()) obs::start_trace(trace_path);
+  if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+  // Flush the observability outputs on every exit path.
+  struct ObsFlush {
+    const std::string& trace;
+    const std::string& metrics;
+    ~ObsFlush() {
+      if (!trace.empty()) obs::stop_trace();
+      if (!metrics.empty()) obs::write_metrics_file(metrics);
+    }
+  } obs_flush{trace_path, metrics_path};
 
   try {
     const auto workload =
