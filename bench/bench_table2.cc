@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
                    format_double(r.l2_miss_rate * 100, 1),
                    format_double(r.l3_miss_rate * 100, 1)});
   }
-  bench::print_table(table);
+  bench::print_table(table, "table2");
   std::cout << "paper reference rows (miss %%): hf 21.3/40.4/47.9, "
                "sar 16.0/23.3/44.4, contour 15.3/39.3/67.1, astro "
                "28.4/54.4/76.4, e_elem 8.3/33.6/49.9, apsi 17.7/25.4/36.0, "

@@ -1,13 +1,15 @@
 #include "bench/common.h"
 
+#include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/run_record.h"
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/log.h"
 #include "support/string_util.h"
 #include "support/units.h"
 
@@ -20,13 +22,10 @@ namespace mlsc::bench {
 namespace {
 
 struct JsonState {
-  std::string binary;
   std::string path;
-  std::vector<std::pair<std::string, Table>> tables;
   bool written = false;
-  // Run metadata, stashed as the bench binary sets up.
-  std::string machine;  // last print_header machine description
-  std::vector<std::string> apps;
+  obs::RunRecord record;  // accumulates tables / phases / metadata
+  std::size_t repetitions = 1;
   // Observability flags.
   std::string metrics_path;
   bool trace_started = false;
@@ -55,10 +54,14 @@ void flush_observability() {
 void parse_common_flags(int argc, char** argv) {
   JsonState& state = json_state();
   if (argc > 0) {
-    state.binary = argv[0];
-    const std::size_t slash = state.binary.find_last_of('/');
-    if (slash != std::string::npos) state.binary = state.binary.substr(slash + 1);
+    state.record.binary = argv[0];
+    const std::size_t slash = state.record.binary.find_last_of('/');
+    if (slash != std::string::npos) {
+      state.record.binary = state.record.binary.substr(slash + 1);
+    }
   }
+  state.record.build_type = MLSC_BUILD_TYPE;
+  state.record.hardware_threads = std::thread::hardware_concurrency();
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,8 +83,28 @@ void parse_common_flags(int argc, char** argv) {
         std::cerr << "error: --metrics needs a path: --metrics=<path>\n";
         std::exit(2);
       }
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      const std::string value = arg.substr(std::string("--reps=").size());
+      char* end = nullptr;
+      const unsigned long reps = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || reps < 1) {
+        std::cerr << "error: --reps needs a positive count: --reps=<n>\n";
+        std::exit(2);
+      }
+      state.repetitions = reps;
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      const std::string name = arg.substr(std::string("--log-level=").size());
+      LogLevel level;
+      if (!parse_log_level(name, &level)) {
+        std::cerr << "error: --log-level must be "
+                     "debug|info|warn|error|off, got \""
+                  << name << "\"\n";
+        std::exit(2);
+      }
+      set_log_level(level);
     }
   }
+  state.record.repetitions = state.repetitions;
   if (!state.path.empty()) std::atexit(write_json_output);
   if (!trace_path.empty()) {
     mlsc::obs::start_trace(trace_path);
@@ -95,34 +118,24 @@ void parse_common_flags(int argc, char** argv) {
 
 const std::string& json_output_path() { return json_state().path; }
 
+std::size_t repetitions() { return json_state().repetitions; }
+
+void set_record_seed(std::uint64_t seed) {
+  JsonState& state = json_state();
+  state.record.seed = seed;
+  state.record.has_seed = true;
+}
+
+void record_phase(const std::string& name, double wall_ms) {
+  JsonState& state = json_state();
+  if (!state.path.empty()) state.record.add_phase(name, wall_ms);
+}
+
 void write_json_output() {
   JsonState& state = json_state();
   if (state.path.empty() || state.written) return;
-  std::ofstream out(state.path);
-  if (!out) {
-    std::cerr << "[bench] cannot open " << state.path << " for writing\n";
-    return;
-  }
-  out << "{\"binary\": ";
-  write_json_string(out, state.binary);
-  // Run metadata so a saved JSON identifies its own configuration.
-  out << ", \"metadata\": {\"machine\": ";
-  write_json_string(out, state.machine);
-  out << ", \"apps\": [";
-  for (std::size_t i = 0; i < state.apps.size(); ++i) {
-    if (i != 0) out << ", ";
-    write_json_string(out, state.apps[i]);
-  }
-  out << "], \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ", \"build_type\": ";
-  write_json_string(out, MLSC_BUILD_TYPE);
-  out << "}, \"tables\": [";
-  for (std::size_t i = 0; i < state.tables.size(); ++i) {
-    if (i != 0) out << ",";
-    out << "\n  ";
-    state.tables[i].second.print_json(out, state.tables[i].first);
-  }
-  out << "\n]}\n";
+  state.record.include_metrics = mlsc::obs::metrics_enabled();
+  if (!state.record.write_file(state.path)) return;
   state.written = true;
   std::cerr << "[bench] wrote " << state.path << "\n";
 }
@@ -132,7 +145,7 @@ std::vector<std::string> bench_apps(const std::vector<std::string>& defaults) {
       defaults.empty() ? workloads::workload_names() : defaults;
   const char* env = std::getenv("MLSC_BENCH_APPS");
   if (env == nullptr || *env == '\0') {
-    json_state().apps = base;
+    json_state().record.apps = base;
     return base;
   }
   std::vector<std::string> out;
@@ -142,7 +155,7 @@ std::vector<std::string> bench_apps(const std::vector<std::string>& defaults) {
     }
   }
   if (out.empty()) out = base;
-  json_state().apps = out;
+  json_state().record.apps = out;
   return out;
 }
 
@@ -153,7 +166,7 @@ bool csv_requested() {
 
 void print_header(const std::string& title,
                   const sim::MachineConfig& config) {
-  json_state().machine = config.to_string();
+  json_state().record.machine = config.to_string();
   std::cout << "== " << title << " ==\n"
             << "paper: Kandemir et al., Computation Mapping for Multi-Level "
                "Storage Cache Hierarchies, HPDC'10\n"
@@ -175,7 +188,7 @@ void print_table(const Table& table, const std::string& title) {
 
 void queue_json_table(const Table& table, const std::string& title) {
   JsonState& state = json_state();
-  if (!state.path.empty()) state.tables.emplace_back(title, table);
+  if (!state.path.empty()) state.record.tables.emplace_back(title, table);
 }
 
 sim::ExperimentResult run(const workloads::Workload& workload,
@@ -183,7 +196,13 @@ sim::ExperimentResult run(const workloads::Workload& workload,
                           const sim::MachineConfig& config) {
   std::cerr << "[bench] " << workload.name << " / " << scheme.name() << " / "
             << config.to_string() << "\n";
-  return run_experiment(workload, scheme, config);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = run_experiment(workload, scheme, config);
+  record_phase(workload.name + "/" + scheme.name(),
+               std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  return result;
 }
 
 std::string norm(double value, double original) {

@@ -7,14 +7,20 @@
 //   MLSC_BENCH_APPS=hf,sar,...   restrict the application list
 //   MLSC_BENCH_CSV=1             additionally print CSV blocks
 // Command-line flags (parse_common_flags):
-//   --json=<path>     also write every printed table to <path> as one JSON
-//                     document (same format across all bench binaries),
-//                     stamped with run metadata (machine, apps, threads,
-//                     build type)
+//   --json=<path>     also write a run record (mlsc-run-record-v1,
+//                     DESIGN.md §13) to <path>: every printed table,
+//                     per-experiment wall-clock phases, run metadata
+//                     (machine, apps, threads, build type, repetitions,
+//                     seed), and a metrics snapshot when --metrics is on
 //   --trace=<path>    record a Chrome trace_event timeline of the run
 //   --metrics=<path>  dump the metrics registry as JSON on exit
+//   --reps=N          timing repetitions for benches that time code
+//                     (stamped into the run record for the diff tool's
+//                     noise margin; default 1)
+//   --log-level=L     debug|info|warn|error|off (default warn)
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -43,6 +49,16 @@ void parse_common_flags(int argc, char** argv);
 
 /// Path given via --json=<path>, or "" when JSON output was not requested.
 const std::string& json_output_path();
+
+/// Timing repetitions requested via --reps=N (default 1).
+std::size_t repetitions();
+
+/// Stamps the pinned RNG seed into the run record metadata.
+void set_record_seed(std::uint64_t seed);
+
+/// Appends a named wall-clock phase to the run record (no-op without
+/// --json).  run() records one phase per experiment automatically.
+void record_phase(const std::string& name, double wall_ms);
 
 /// Writes the collected tables to the --json path now (no-op without
 /// --json; also runs automatically at exit).

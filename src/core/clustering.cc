@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/log.h"
 
 namespace mlsc::core {
 
@@ -259,6 +260,13 @@ void merge_to_count(std::vector<Cluster>& clusters, std::size_t target,
                         fallback_ids[fallback_pos + 1]);
     }
 
+    MLSC_DEBUG("cluster merge: "
+               << best.b << " -> " << best.a
+               << (found ? " (shared-data score " : " (zero-sharing fallback")
+               << (found ? std::to_string(best.score) : std::string())
+               << "), " << clusters[best.a].members.size() << "+"
+               << clusters[best.b].members.size() << " members, "
+               << alive_count - 1 << " clusters left");
     clusters[best.a].absorb(std::move(clusters[best.b]));
     alive[best.b] = false;
     ++version[best.a];  // invalidates a's and the pair's old index entries

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/log.h"
 
 namespace mlsc::core {
 
@@ -186,11 +187,17 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
 
     if (choice.best_fit != UINT32_MAX) {
       const std::uint32_t best_fit = choice.best_fit;
+      MLSC_DEBUG("balance evict: member " << best_fit << " ("
+                 << chunks[best_fit].iterations << " iters) whole, cluster "
+                 << donor << " -> " << recipient);
       clusters[donor].remove_member(best_fit, chunks[best_fit]);
       clusters[recipient].add_member(best_fit, chunks[best_fit]);
     } else {
       const std::uint32_t best_any = choice.best_any;
       MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
+      MLSC_DEBUG("balance evict: member " << best_any << " split, "
+                 << move_max << " iters move, cluster " << donor << " -> "
+                 << recipient);
       // Split best_any into (move_max, rest): the head moves.
       auto [head, tail] = split_chunk(chunks[best_any], move_max);
       clusters[donor].remove_member(best_any, chunks[best_any]);
@@ -236,11 +243,17 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
         clusters[donor], clusters[recipient], chunks, move_max, pool);
     if (choice.best_fit != UINT32_MAX) {
       const std::uint32_t best_fit = choice.best_fit;
+      MLSC_DEBUG("balance pull-up: member " << best_fit << " ("
+                 << chunks[best_fit].iterations << " iters) whole, cluster "
+                 << donor << " -> " << recipient);
       clusters[donor].remove_member(best_fit, chunks[best_fit]);
       clusters[recipient].add_member(best_fit, chunks[best_fit]);
     } else {
       const std::uint32_t best_any = choice.best_any;
       MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
+      MLSC_DEBUG("balance pull-up: member " << best_any << " split, "
+                 << move_max << " iters move, cluster " << donor << " -> "
+                 << recipient);
       auto [head, tail] = split_chunk(chunks[best_any], move_max);
       clusters[donor].remove_member(best_any, chunks[best_any]);
       chunks[best_any] = std::move(head);

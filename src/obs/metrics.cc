@@ -5,8 +5,13 @@
 #include <iostream>
 #include <ostream>
 
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/stats.h"
 #include "support/string_util.h"
 
 namespace mlsc::obs {
@@ -51,6 +56,31 @@ void Histogram::observe(double value) {
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
   MLSC_CHECK(i <= bounds_.size(), "histogram bucket out of range");
   return counts_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double p) const {
+  // Relaxed snapshot: concurrent observes may make the per-bucket counts
+  // momentarily inconsistent with total_count(); walk the buckets and
+  // derive the total from the same reads instead.
+  const std::size_t num_buckets = bounds_.size() + 1;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < num_buckets; ++i) total += bucket_count(i);
+  if (total == 0 || bounds_.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double target = quantile_rank(total, p).rank();
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const double count = static_cast<double>(bucket_count(i));
+    if (count == 0.0) continue;
+    if (target < cum + count) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac = std::min((target - cum + 1.0) / count, 1.0);
+      return lerp(lower, bounds_[i], frac);
+    }
+    cum += count;
+  }
+  return bounds_.back();
 }
 
 void Histogram::reset() {
@@ -143,9 +173,67 @@ void Registry::write_json(std::ostream& out) const {
       out << h->bucket_count(i);
     }
     out << "], \"count\": " << h->total_count()
-        << ", \"sum\": " << json_number(h->sum()) << "}";
+        << ", \"sum\": " << json_number(h->sum()) << ", \"quantiles\": {"
+        << "\"p50\": " << json_number(h->quantile(50.0))
+        << ", \"p90\": " << json_number(h->quantile(90.0))
+        << ", \"p99\": " << json_number(h->quantile(99.0)) << "}}";
   }
   out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+namespace {
+
+/// Prometheus sample-value rendering: plain decimal, with the text
+/// format's NaN/+Inf/-Inf spellings for non-finite values.
+std::string prom_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void Registry::dump_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = sanitize_metric_name(name);
+    out << "# TYPE " << prom << " counter\n"
+        << prom << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = sanitize_metric_name(name);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << " " << prom_number(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = sanitize_metric_name(name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->bucket_count(i);
+      out << prom << "_bucket{le=\"" << prom_number(h->bounds()[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h->total_count() << "\n"
+        << prom << "_sum " << prom_number(h->sum()) << "\n"
+        << prom << "_count " << h->total_count() << "\n";
+  }
 }
 
 bool write_metrics_file(const std::string& path) {

@@ -77,6 +77,15 @@ class Histogram {
     return total_.load(std::memory_order_relaxed);
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimates the p-th percentile (p in [0, 100]) from the bucket
+  /// counts, linearly interpolated within the containing bucket
+  /// (support/stats quantile_rank/lerp — the same rank definition as
+  /// percentile_of).  The first bucket's lower edge is taken as 0 (the
+  /// histograms here record non-negative latencies); ranks landing in
+  /// the overflow bucket clamp to the last finite bound, which is the
+  /// best the fixed buckets can say.  NaN when the histogram is empty.
+  double quantile(double p) const;
   void reset();
 
  private:
@@ -104,8 +113,15 @@ class Registry {
 
   /// One JSON object {"counters": {...}, "gauges": {...},
   /// "histograms": {...}} using the shared Table::print_json emitter
-  /// (names sorted, non-finite doubles rendered as null).
+  /// (names sorted, non-finite doubles rendered as null).  Histograms
+  /// carry interpolated p50/p90/p99 under "quantiles" (null when empty).
   void write_json(std::ostream& out) const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges as single samples, histograms as cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`.  Dotted names
+  /// are sanitized with sanitize_metric_name.
+  void dump_prometheus(std::ostream& out) const;
 
  private:
   mutable std::mutex mutex_;
@@ -117,6 +133,11 @@ class Registry {
 /// Writes Registry::global()'s JSON dump to `path`; returns false (and
 /// logs to stderr) when the file cannot be written.
 bool write_metrics_file(const std::string& path);
+
+/// Maps a dotted metric name onto the Prometheus name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: '.' and every other invalid character
+/// become '_', and a leading digit gets a '_' prefix.
+std::string sanitize_metric_name(std::string_view name);
 
 }  // namespace mlsc::obs
 

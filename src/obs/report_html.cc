@@ -1,0 +1,425 @@
+#include "obs/report_html.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/string_util.h"
+
+namespace mlsc::obs {
+
+namespace {
+
+// Categorical palette (validated for adjacent-pair CVD separation and
+// normal-vision distance in both modes; the light-mode contrast warning
+// on slots 3/4/5 is relieved by the data-table view under each chart).
+// Slot order is the stall-category stacking order.
+struct Category {
+  const char* name;
+  const char* css;  // CSS custom property carrying the slot color
+};
+constexpr Category kStallCategories[] = {
+    {"compute", "--series-1"},  {"l1 hit", "--series-2"},
+    {"l2 hit", "--series-3"},   {"l3 hit", "--series-4"},
+    {"peer hit", "--series-5"}, {"disk", "--series-6"},
+    {"sync wait", "--series-7"},
+};
+constexpr std::size_t kNumCategories =
+    sizeof(kStallCategories) / sizeof(kStallCategories[0]);
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string pct(double fraction) {
+  return format_double(std::max(0.0, std::min(1.0, fraction)) * 100.0, 2);
+}
+
+const char* kStyle = R"css(
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --surface-2: #f0efec;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #dddcd8;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --surface-2: #383835;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #44433f;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9;
+  }
+}
+body {
+  background: var(--surface-1); color: var(--text-primary);
+  font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+  max-width: 64rem; padding: 0 1rem;
+}
+h1 { font-size: 1.4rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid var(--grid); padding-bottom: .3rem; }
+p.subtitle { color: var(--text-secondary); margin-top: -.5rem; }
+table { border-collapse: collapse; margin: .8rem 0; }
+th, td { border: 1px solid var(--grid); padding: .25rem .6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: var(--surface-2); }
+.bar-row { display: flex; align-items: center; gap: .6rem; margin: 2px 0; }
+.bar-label { flex: 0 0 14rem; text-align: right; color: var(--text-secondary);
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.bar-track { flex: 1 1 auto; display: flex; height: 14px; }
+.bar { height: 14px; border-radius: 0 4px 4px 0; background: var(--series-1); }
+.seg { height: 14px; margin-right: 2px; }
+.seg:first-child { border-radius: 4px 0 0 4px; }
+.seg:last-child { border-radius: 0 4px 4px 0; margin-right: 0; }
+.bar-value { flex: 0 0 7rem; color: var(--text-secondary); }
+.legend { display: flex; flex-wrap: wrap; gap: 1rem; margin: .6rem 0; }
+.legend span.swatch { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: .35rem; }
+.meta { color: var(--text-secondary); }
+)css";
+
+void bar_section(std::ostream& out, const std::string& id,
+                 const std::string& heading,
+                 const std::vector<std::pair<std::string, double>>& items,
+                 const std::string& unit) {
+  if (items.empty()) return;
+  double max_value = 0.0;
+  for (const auto& [name, value] : items) {
+    max_value = std::max(max_value, value);
+  }
+  out << "<section id=\"" << id << "\">\n<h2>" << html_escape(heading)
+      << "</h2>\n";
+  for (const auto& [name, value] : items) {
+    const double frac = max_value > 0.0 ? value / max_value : 0.0;
+    out << "<div class=\"bar-row\"><span class=\"bar-label\">"
+        << html_escape(name) << "</span><div class=\"bar-track\">"
+        << "<div class=\"bar\" style=\"width:" << pct(frac)
+        << "%\" title=\"" << html_escape(name) << ": "
+        << format_double(value, 3) << " " << unit
+        << "\"></div></div><span class=\"bar-value\">"
+        << format_double(value, 2) << " " << unit << "</span></div>\n";
+  }
+  out << "</section>\n";
+}
+
+void metadata_section(std::ostream& out, const JsonValue& record) {
+  out << "<section id=\"metadata\">\n<h2>Run metadata</h2>\n<table>\n";
+  auto row = [&](const std::string& key, const std::string& value) {
+    out << "<tr><td>" << html_escape(key) << "</td><td>"
+        << html_escape(value) << "</td></tr>\n";
+  };
+  if (const JsonValue* schema = record.find("schema")) {
+    row("schema", schema->string_or(""));
+  }
+  if (const JsonValue* binary = record.find("binary")) {
+    row("binary", binary->string_or(""));
+  }
+  const JsonValue* metadata = record.find("metadata");
+  if (metadata != nullptr && metadata->is_object()) {
+    for (const auto& [key, value] : metadata->as_object()) {
+      std::string rendered;
+      if (value.is_string()) {
+        rendered = value.as_string();
+      } else if (value.is_number()) {
+        const double v = value.as_number();
+        rendered = v == std::floor(v) && std::fabs(v) < 1e15
+                       ? std::to_string(static_cast<long long>(v))
+                       : format_double(v, 4);
+      } else if (value.is_array()) {
+        std::vector<std::string> parts;
+        for (const JsonValue& item : value.as_array()) {
+          parts.push_back(item.string_or("?"));
+        }
+        rendered = join(parts, ", ");
+      }
+      row(key, rendered);
+    }
+  }
+  out << "</table>\n</section>\n";
+}
+
+void phases_section(std::ostream& out, const JsonValue& record) {
+  const JsonValue* phases = record.find("phases");
+  if (phases == nullptr || !phases->is_array()) return;
+  std::vector<std::pair<std::string, double>> items;
+  for (const JsonValue& phase : phases->as_array()) {
+    const JsonValue* name = phase.find("name");
+    const JsonValue* wall = phase.find("wall_ms");
+    if (name == nullptr || wall == nullptr || !wall->is_number()) continue;
+    items.emplace_back(name->string_or("?"), wall->as_number());
+  }
+  bar_section(out, "phases", "Phase durations", items, "ms");
+}
+
+void html_table(std::ostream& out, const JsonValue& table,
+                std::size_t index) {
+  const JsonValue* header = table.find("header");
+  const JsonValue* rows = table.find("rows");
+  if (header == nullptr || rows == nullptr || !header->is_array() ||
+      !rows->is_array()) {
+    return;
+  }
+  std::string title =
+      table.find("title") != nullptr ? table.find("title")->string_or("")
+                                     : "";
+  if (title.empty()) title = "table " + std::to_string(index + 1);
+  out << "<h3>" << html_escape(title) << "</h3>\n<table>\n<tr>";
+  for (const JsonValue& cell : header->as_array()) {
+    out << "<th>" << html_escape(cell.string_or("")) << "</th>";
+  }
+  out << "</tr>\n";
+  for (const JsonValue& row : rows->as_array()) {
+    out << "<tr>";
+    for (const JsonValue& cell : row.as_array()) {
+      out << "<td>" << html_escape(cell.string_or("")) << "</td>";
+    }
+    out << "</tr>\n";
+  }
+  out << "</table>\n";
+}
+
+void tables_section(std::ostream& out, const JsonValue& record) {
+  const JsonValue* tables = record.find("tables");
+  if (tables == nullptr || !tables->is_array() ||
+      tables->as_array().empty()) {
+    return;
+  }
+  out << "<section id=\"tables\">\n<h2>Result tables</h2>\n";
+  const auto& array = tables->as_array();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    html_table(out, array[i], i);
+  }
+  out << "</section>\n";
+}
+
+void histogram_chart(std::ostream& out, const std::string& name,
+                     const JsonValue& hist) {
+  const JsonValue* bounds = hist.find("bounds");
+  const JsonValue* counts = hist.find("counts");
+  if (bounds == nullptr || counts == nullptr || !bounds->is_array() ||
+      !counts->is_array()) {
+    return;
+  }
+  const auto& bound_array = bounds->as_array();
+  const auto& count_array = counts->as_array();
+  std::vector<std::pair<std::string, double>> items;
+  for (std::size_t i = 0; i < count_array.size(); ++i) {
+    const std::string label =
+        i < bound_array.size()
+            ? "&le; " + format_double(bound_array[i].number_or(0.0), 0)
+            : "overflow";
+    items.emplace_back(label, count_array[i].number_or(0.0));
+  }
+  out << "<h3>" << html_escape(name) << "</h3>\n";
+  if (const JsonValue* quantiles = hist.find("quantiles")) {
+    if (quantiles->is_object()) {
+      std::vector<std::string> parts;
+      for (const auto& [q, value] : quantiles->as_object()) {
+        parts.push_back(q + " = " +
+                        (value.is_number()
+                             ? format_double(value.as_number(), 1)
+                             : std::string("n/a")));
+      }
+      out << "<p class=\"meta\">" << html_escape(join(parts, ", "))
+          << "</p>\n";
+    }
+  }
+  double max_count = 0.0;
+  for (const auto& [label, count] : items) {
+    max_count = std::max(max_count, count);
+  }
+  for (const auto& [label, count] : items) {
+    const double frac = max_count > 0.0 ? count / max_count : 0.0;
+    // Bucket labels are pre-escaped ("&le;"), so emit them raw.
+    out << "<div class=\"bar-row\"><span class=\"bar-label\">" << label
+        << "</span><div class=\"bar-track\"><div class=\"bar\" style=\""
+        << "width:" << pct(frac) << "%\"></div></div>"
+        << "<span class=\"bar-value\">"
+        << static_cast<long long>(count) << "</span></div>\n";
+  }
+}
+
+void metrics_section(std::ostream& out, const JsonValue& record) {
+  const JsonValue* metrics = record.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return;
+  out << "<section id=\"metrics\">\n<h2>Metrics</h2>\n";
+
+  const JsonValue* counters = metrics->find("counters");
+  const JsonValue* gauges = metrics->find("gauges");
+  const bool have_counters = counters != nullptr && counters->is_object() &&
+                             !counters->as_object().empty();
+  const bool have_gauges = gauges != nullptr && gauges->is_object() &&
+                           !gauges->as_object().empty();
+  if (have_counters || have_gauges) {
+    out << "<table>\n<tr><th>instrument</th><th>value</th></tr>\n";
+    if (have_counters) {
+      for (const auto& [name, value] : counters->as_object()) {
+        out << "<tr><td>" << html_escape(name) << "</td><td>"
+            << static_cast<long long>(value.number_or(0.0))
+            << "</td></tr>\n";
+      }
+    }
+    if (have_gauges) {
+      for (const auto& [name, value] : gauges->as_object()) {
+        out << "<tr><td>" << html_escape(name) << "</td><td>"
+            << (value.is_number() ? format_double(value.as_number(), 4)
+                                  : std::string("n/a"))
+            << "</td></tr>\n";
+      }
+    }
+    out << "</table>\n";
+  }
+
+  const JsonValue* histograms = metrics->find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, hist] : histograms->as_object()) {
+      histogram_chart(out, name, hist);
+    }
+  }
+  out << "</section>\n";
+}
+
+void stall_section(std::ostream& out, const JsonValue& trace) {
+  const JsonValue* events = trace.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return;
+
+  // client index -> per-category microsecond totals.
+  std::map<long long, std::vector<double>> clients;
+  for (const JsonValue& event : events->as_array()) {
+    const JsonValue* ph = event.find("ph");
+    const JsonValue* pid = event.find("pid");
+    const JsonValue* name = event.find("name");
+    const JsonValue* dur = event.find("dur");
+    if (ph == nullptr || pid == nullptr || name == nullptr ||
+        dur == nullptr || ph->string_or("") != "X" || !pid->is_number()) {
+      continue;
+    }
+    const long long p = static_cast<long long>(pid->as_number());
+    if (p < kClientPidBase) continue;  // real-time (host) track
+    auto& totals = clients[p - kClientPidBase];
+    if (totals.empty()) totals.assign(kNumCategories, 0.0);
+    const std::string& category = name->string_or("");
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      if (category == kStallCategories[c].name) {
+        totals[c] += dur->number_or(0.0);
+        break;
+      }
+    }
+  }
+  if (clients.empty()) return;
+
+  double max_total = 0.0;
+  for (const auto& [client, totals] : clients) {
+    double total = 0.0;
+    for (double t : totals) total += t;
+    max_total = std::max(max_total, total);
+  }
+
+  out << "<section id=\"stall\">\n"
+      << "<h2>Per-client I/O stall breakdown</h2>\n"
+      << "<p class=\"subtitle\">simulated time per client, split by where "
+         "each access was served (trace-derived)</p>\n<div class=\"legend\">";
+  for (const Category& category : kStallCategories) {
+    out << "<span><span class=\"swatch\" style=\"background:var("
+        << category.css << ")\"></span>" << html_escape(category.name)
+        << "</span>";
+  }
+  out << "</div>\n";
+
+  for (const auto& [client, totals] : clients) {
+    double total = 0.0;
+    for (double t : totals) total += t;
+    out << "<div class=\"bar-row stall-client\"><span class=\"bar-label\">"
+        << "client " << client << "</span><div class=\"bar-track\" style=\""
+        << "width:" << pct(max_total > 0.0 ? total / max_total : 0.0)
+        << "%;flex-grow:0\">";
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      if (totals[c] <= 0.0) continue;
+      out << "<span class=\"seg\" style=\"width:"
+          << pct(total > 0.0 ? totals[c] / total : 0.0)
+          << "%;background:var(" << kStallCategories[c].css << ")\" title=\""
+          << kStallCategories[c].name << ": "
+          << format_double(totals[c] / 1000.0, 3) << " ms ("
+          << format_double(total > 0.0 ? 100.0 * totals[c] / total : 0.0, 1)
+          << "%)\"></span>";
+    }
+    out << "</div><span class=\"bar-value\">"
+        << format_double(total / 1000.0, 2) << " ms</span></div>\n";
+  }
+
+  // Table view of the same data (the accessible fallback — some light
+  // palette slots sit below 3:1 contrast on the light surface).
+  out << "<table>\n<tr><th>client</th>";
+  for (const Category& category : kStallCategories) {
+    out << "<th>" << html_escape(category.name) << " (ms)</th>";
+  }
+  out << "<th>total (ms)</th></tr>\n";
+  for (const auto& [client, totals] : clients) {
+    double total = 0.0;
+    for (double t : totals) total += t;
+    out << "<tr><td>client " << client << "</td>";
+    for (double t : totals) {
+      out << "<td>" << format_double(t / 1000.0, 3) << "</td>";
+    }
+    out << "<td>" << format_double(total / 1000.0, 3) << "</td></tr>\n";
+  }
+  out << "</table>\n</section>\n";
+}
+
+}  // namespace
+
+std::string render_html_report(const JsonValue& record,
+                               const JsonValue* trace) {
+  std::ostringstream out;
+  const std::string binary =
+      record.find("binary") != nullptr
+          ? record.find("binary")->string_or("run")
+          : "run";
+  out << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+      << "<meta charset=\"utf-8\">\n"
+      << "<meta name=\"viewport\" content=\"width=device-width, "
+         "initial-scale=1\">\n"
+      << "<title>mlsc run report &mdash; " << html_escape(binary)
+      << "</title>\n<style>" << kStyle << "</style>\n</head>\n<body>\n"
+      << "<h1>mlsc run report &mdash; " << html_escape(binary) << "</h1>\n"
+      << "<p class=\"subtitle\">Computation mapping for multi-level storage "
+         "cache hierarchies &mdash; regression observatory run record"
+         "</p>\n";
+  metadata_section(out, record);
+  phases_section(out, record);
+  tables_section(out, record);
+  metrics_section(out, record);
+  if (trace != nullptr) stall_section(out, *trace);
+  out << "</body>\n</html>\n";
+  return out.str();
+}
+
+}  // namespace mlsc::obs

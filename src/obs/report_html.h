@@ -1,0 +1,27 @@
+// Self-contained HTML rendering of a run record — the engine behind
+// `tools/mlsc_report`.
+//
+// The page bundles everything inline (one <style> block, no scripts, no
+// external URLs of any kind) so it can be archived as a CI artifact and
+// opened years later.  Sections render from whatever the record has:
+// metadata, phase-duration bars, every result table, the metrics
+// registry snapshot with the access-latency histogram drawn as bars,
+// and — when a Chrome trace document is supplied — per-client I/O stall
+// breakdown stacked bars computed from the simulated-client timelines.
+#pragma once
+
+#include <string>
+
+#include "support/json.h"
+
+namespace mlsc::obs {
+
+/// Renders the report page.  `record` is a parsed run record
+/// (mlsc-run-record-v1 or the legacy bench --json layout); `trace`, when
+/// non-null, is a parsed Chrome trace_event document whose simulated
+/// client tracks (pid >= kClientPidBase) feed the stall-breakdown
+/// section.
+std::string render_html_report(const JsonValue& record,
+                               const JsonValue* trace = nullptr);
+
+}  // namespace mlsc::obs

@@ -20,11 +20,9 @@ double share(Nanoseconds part, Nanoseconds whole) {
 
 }  // namespace
 
-void write_report(std::ostream& out, const ExperimentResult& result,
-                  const MachineConfig& config) {
-  out << "workload: " << result.workload << "\n"
-      << "scheme:   " << result.scheme << "\n"
-      << "machine:  " << config.to_string() << "\n\n";
+std::vector<std::pair<std::string, Table>> report_tables(
+    const ExperimentResult& result) {
+  std::vector<std::pair<std::string, Table>> tables;
 
   Table levels({"level", "accesses", "hits", "misses", "miss %"});
   const cache::CacheStats* stats[] = {&result.engine.l1, &result.engine.l2,
@@ -36,29 +34,48 @@ void write_report(std::ostream& out, const ExperimentResult& result,
                     std::to_string(stats[i]->misses),
                     format_double(stats[i]->miss_rate() * 100, 1)});
   }
-  levels.print(out);
+  tables.emplace_back("cache levels", std::move(levels));
 
   const auto& e = result.engine;
-  Table where({"I/O stall component", "time", "share %"});
-  where.add_row({"client cache hits", seconds(e.time_client_cache),
-                 format_double(share(e.time_client_cache, e.io_time_total),
-                               1)});
-  where.add_row({"shared cache hits", seconds(e.time_shared_cache),
-                 format_double(share(e.time_shared_cache, e.io_time_total),
-                               1)});
-  if (e.peer_hits > 0) {
-    where.add_row({"peer cache hits", seconds(e.time_peer_cache),
-                   format_double(share(e.time_peer_cache, e.io_time_total),
-                                 1)});
-  }
-  where.add_row({"disk service+queue", seconds(e.time_disk),
-                 format_double(share(e.time_disk, e.io_time_total), 1)});
-  where.add_row({"  of which queueing", seconds(e.time_disk_queue),
-                 format_double(share(e.time_disk_queue, e.io_time_total),
-                               1)});
-  out << "\n";
-  where.print(out);
+  Table where({"I/O stall component", "time (s)", "share %"});
+  auto stall_row = [&](const std::string& component, Nanoseconds time) {
+    where.add_row({component,
+                   format_double(static_cast<double>(time) / 1e9, 4),
+                   format_double(share(time, e.io_time_total), 1)});
+  };
+  stall_row("client cache hits", e.time_client_cache);
+  stall_row("shared cache hits", e.time_shared_cache);
+  if (e.peer_hits > 0) stall_row("peer cache hits", e.time_peer_cache);
+  stall_row("disk service+queue", e.time_disk);
+  stall_row("  of which queueing", e.time_disk_queue);
+  tables.emplace_back("io stall breakdown", std::move(where));
 
+  Table summary({"workload", "scheme", "io_latency_s", "exec_time_s",
+                 "disk_requests", "disk_writebacks", "peer_hits",
+                 "prefetches", "sync_edges"});
+  summary.add_row(
+      {result.workload, result.scheme,
+       format_double(static_cast<double>(result.io_latency) / 1e9, 4),
+       format_double(static_cast<double>(result.exec_time) / 1e9, 4),
+       std::to_string(e.disk_requests), std::to_string(e.disk_writebacks),
+       std::to_string(e.peer_hits), std::to_string(e.prefetches),
+       std::to_string(result.sync_edges)});
+  tables.emplace_back("summary", std::move(summary));
+  return tables;
+}
+
+void write_report(std::ostream& out, const ExperimentResult& result,
+                  const MachineConfig& config) {
+  out << "workload: " << result.workload << "\n"
+      << "scheme:   " << result.scheme << "\n"
+      << "machine:  " << config.to_string() << "\n\n";
+
+  const auto tables = report_tables(result);
+  tables[0].second.print(out);  // cache levels
+  out << "\n";
+  tables[1].second.print(out);  // io stall breakdown
+
+  const auto& e = result.engine;
   out << "\ndisk requests: " << e.disk_requests
       << ", write-backs: " << e.disk_writebacks
       << ", prefetches: " << e.prefetches << ", sync edges: "

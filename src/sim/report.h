@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/experiment.h"
@@ -17,6 +18,15 @@ namespace mlsc::sim {
 /// disk traffic, synchronization, and timing.
 void write_report(std::ostream& out, const ExperimentResult& result,
                   const MachineConfig& config);
+
+/// The report's tables as (title, table) pairs — "cache levels" (per-
+/// level accesses/hits/misses/miss %), "io stall breakdown" (per-
+/// component seconds and share), and a one-row "summary" (latency,
+/// execution time, disk traffic, sync).  write_report prints these;
+/// mlsc_map bundles them into its --json run record, where numeric
+/// cells become diffable metrics and mlsc_report renders them.
+std::vector<std::pair<std::string, Table>> report_tables(
+    const ExperimentResult& result);
 
 /// Side-by-side comparison of several results on one workload, with a
 /// "normalized vs first" column block (the paper's presentation style).

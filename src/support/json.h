@@ -1,0 +1,81 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// The observability layer writes several JSON documents (bench run
+// records, metric registry dumps, Chrome trace files); the analysis
+// tools (`mlsc_bench_diff`, `mlsc_report`) read them back.  This parser
+// covers exactly the JSON those emitters produce — objects, arrays,
+// strings with the escapes write_json_string emits, numbers, booleans
+// and null — and rejects anything else with a position-stamped Error.
+//
+// Objects preserve insertion order (the emitters write sorted maps, and
+// the report renders sections in file order).  Numbers are doubles;
+// `null` parses to a NaN-valued number when read via number_or so the
+// non-finite round-trip (json_number renders NaN/Inf as null) degrades
+// gracefully instead of throwing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mlsc {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; MLSC_CHECK-fail on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Forgiving accessors for optional fields: the fallback when this is
+  /// absent-kinded (null) or the wrong kind.  number_or also maps null
+  /// to the fallback, which is how emitted non-finite doubles read back.
+  double number_or(double fallback) const;
+  std::string string_or(std::string fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).  Throws Error with a byte offset on malformed
+/// input.
+JsonValue parse_json(std::string_view text);
+
+/// Reads and parses a JSON file.  Throws Error when the file cannot be
+/// read or does not parse.
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace mlsc

@@ -29,6 +29,23 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+bool parse_log_level(const std::string& name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace detail {
 void log_message(LogLevel level, const std::string& message) {
   std::cerr << "[mlsc:" << level_name(level) << "] " << message << '\n';

@@ -13,6 +13,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug" | "info" | "warn" | "error" | "off" (what
+/// --log-level= accepts on mlsc_map and the bench binaries).  Returns
+/// false and leaves `out` alone on anything else.
+bool parse_log_level(const std::string& name, LogLevel* out);
+
 namespace detail {
 void log_message(LogLevel level, const std::string& message);
 }  // namespace detail

@@ -8,6 +8,25 @@
 
 namespace mlsc {
 
+namespace {
+
+/// Visible width of a cell: ANSI SGR escape sequences (ESC [ ... m) take
+/// no columns, so colorized cells (mlsc_bench_diff verdicts) still align.
+std::size_t display_width(const std::string& s) {
+  std::size_t width = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\x1b' && i + 1 < s.size() && s[i + 1] == '[') {
+      i += 2;
+      while (i < s.size() && s[i] != 'm') ++i;
+      continue;
+    }
+    ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
   MLSC_CHECK(!header_.empty(), "table needs at least one column");
 }
@@ -31,11 +50,11 @@ void Table::add_row_numeric(const std::string& label,
 void Table::print(std::ostream& out) const {
   std::vector<std::size_t> widths(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) {
-    widths[c] = header_[c].size();
+    widths[c] = display_width(header_[c]);
   }
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      widths[c] = std::max(widths[c], row[c].size());
+      widths[c] = std::max(widths[c], display_width(row[c]));
     }
   }
 
@@ -47,7 +66,10 @@ void Table::print(std::ostream& out) const {
   auto print_cells = [&](const std::vector<std::string>& cells) {
     out << '|';
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      out << ' ' << pad_right(cells[c], widths[c]) << " |";
+      const std::size_t visible = display_width(cells[c]);
+      const std::size_t pad =
+          widths[c] > visible ? widths[c] - visible : 0;
+      out << ' ' << cells[c] << std::string(pad, ' ') << " |";
     }
     out << '\n';
   };

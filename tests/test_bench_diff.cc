@@ -1,0 +1,188 @@
+// Tests for the noise-aware run-record diff engine behind
+// tools/mlsc_bench_diff: flattening, metric classification, verdicts,
+// thresholds, and the exit-code contract the CI perf job relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_diff.h"
+#include "support/json.h"
+
+namespace mlsc::obs {
+namespace {
+
+// A miniature but fully representative run record.
+const char* kRecord = R"({
+  "schema": "mlsc-run-record-v1",
+  "binary": "bench_test",
+  "metadata": {"machine": "m", "apps": ["hf"], "hardware_threads": 4,
+               "build_type": "Release", "repetitions": 3, "seed": 2010},
+  "phases": [
+    {"name": "hf/inter", "wall_ms": 120.5}
+  ],
+  "tables": [
+    {"title": "scaling",
+     "header": ["chunks", "threads", "map_ms", "identical"],
+     "rows": [
+       ["1024", "1", "30.00", "yes"],
+       ["1024", "2", "16.00", "yes"]
+     ]}
+  ],
+  "metrics": {
+    "counters": {"pipeline.balance_moves": 17},
+    "gauges": {"g.load": 0.5},
+    "histograms": {
+      "engine.access_latency_ns": {
+        "bounds": [100, 1000], "counts": [5, 3, 2], "count": 10,
+        "sum": 4200,
+        "quantiles": {"p50": 350.0, "p90": 900.0, "p99": 1000.0}}
+    }
+  }
+})";
+
+std::string patched(const std::string& from, const std::string& to) {
+  std::string text = kRecord;
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  text.replace(pos, from.size(), to);
+  return text;
+}
+
+TEST(BenchDiff, TimingClassification) {
+  EXPECT_TRUE(is_timing_metric("tables.scaling[1024/2].map_ms"));
+  EXPECT_TRUE(is_timing_metric("phases.hf/inter.wall_ms"));
+  EXPECT_TRUE(is_timing_metric("histograms.engine.access_latency_ns.p99"));
+  EXPECT_TRUE(is_timing_metric("tables.t[r].exec_time_s"));
+  EXPECT_TRUE(is_timing_metric("tables.t[r].map_speedup"));
+  EXPECT_FALSE(is_timing_metric("tables.cache levels[L1].misses"));
+  EXPECT_FALSE(is_timing_metric("counters.pipeline.balance_moves"));
+}
+
+TEST(BenchDiff, FlattensAllSections) {
+  const auto metrics = flatten_run_record(parse_json(kRecord));
+  auto has = [&](const std::string& name) {
+    for (const auto& m : metrics) {
+      if (m.name == name) return true;
+    }
+    return false;
+  };
+  // Duplicate first-column labels are disambiguated with the second.
+  EXPECT_TRUE(has("tables.scaling[1024/1].map_ms"));
+  EXPECT_TRUE(has("tables.scaling[1024/2].map_ms"));
+  EXPECT_TRUE(has("phases.hf/inter.wall_ms"));
+  EXPECT_TRUE(has("counters.pipeline.balance_moves"));
+  EXPECT_TRUE(has("gauges.g.load"));
+  EXPECT_TRUE(has("histograms.engine.access_latency_ns.p50"));
+  EXPECT_TRUE(has("histograms.engine.access_latency_ns.count"));
+  // Non-numeric cells ("yes") flatten to nothing.
+  EXPECT_FALSE(has("tables.scaling[1024/1].identical"));
+  EXPECT_EQ(record_repetitions(parse_json(kRecord)), 3u);
+  EXPECT_EQ(record_repetitions(parse_json("{}")), 1u);
+}
+
+TEST(BenchDiff, IdenticalRecordsExitZero) {
+  const JsonValue record = parse_json(kRecord);
+  const DiffResult result = diff_run_records(record, record);
+  EXPECT_GT(result.compared, 0u);
+  EXPECT_EQ(result.soft_regressions, 0u);
+  EXPECT_EQ(result.hard_regressions, 0u);
+  EXPECT_EQ(result.exit_code(), 0);
+}
+
+TEST(BenchDiff, DeterministicRegressionIsHardInBothDirections) {
+  const JsonValue base = parse_json(kRecord);
+  // A 20% jump in a deterministic counter: far past 2x the 0.1% band.
+  const JsonValue worse =
+      parse_json(patched("\"pipeline.balance_moves\": 17",
+                         "\"pipeline.balance_moves\": 21"));
+  EXPECT_EQ(diff_run_records(base, worse).exit_code(), 2);
+  // A decrease is just as much a behaviour change.
+  const JsonValue fewer =
+      parse_json(patched("\"pipeline.balance_moves\": 17",
+                         "\"pipeline.balance_moves\": 13"));
+  EXPECT_EQ(diff_run_records(base, fewer).exit_code(), 2);
+}
+
+TEST(BenchDiff, TimingNoiseMarginScalesWithRepetitions) {
+  const JsonValue base = parse_json(kRecord);
+  // +20% on a timing metric sits inside the default 30%-plus-margin band.
+  const JsonValue noisy =
+      parse_json(patched("\"wall_ms\": 120.5", "\"wall_ms\": 144.6"));
+  EXPECT_EQ(diff_run_records(base, noisy).exit_code(), 0);
+  // +60% breaches the soft threshold (effective ~47% at 3 reps) but not
+  // the hard one (~95%).
+  const JsonValue slow =
+      parse_json(patched("\"wall_ms\": 120.5", "\"wall_ms\": 192.8"));
+  const DiffResult soft = diff_run_records(base, slow);
+  EXPECT_EQ(soft.soft_regressions, 1u);
+  EXPECT_EQ(soft.exit_code(), 1);
+  // +150% is a hard regression.
+  const JsonValue awful =
+      parse_json(patched("\"wall_ms\": 120.5", "\"wall_ms\": 301.25"));
+  EXPECT_EQ(diff_run_records(base, awful).exit_code(), 2);
+  // A big decrease is an improvement, never a failure.
+  const JsonValue fast =
+      parse_json(patched("\"wall_ms\": 120.5", "\"wall_ms\": 40.0"));
+  const DiffResult better = diff_run_records(base, fast);
+  EXPECT_EQ(better.improvements, 1u);
+  EXPECT_EQ(better.exit_code(), 0);
+}
+
+TEST(BenchDiff, MissingAndNewMetricsDoNotFail) {
+  const JsonValue base = parse_json(kRecord);
+  const JsonValue pruned =
+      parse_json(patched("\"counters\": {\"pipeline.balance_moves\": 17}",
+                         "\"counters\": {}"));
+  const DiffResult result = diff_run_records(base, pruned);
+  EXPECT_EQ(result.missing, 1u);
+  EXPECT_EQ(result.exit_code(), 0);
+  // Reversed: the extra metric shows up as new, also not a failure.
+  const DiffResult reversed = diff_run_records(pruned, base);
+  EXPECT_EQ(reversed.missing, 0u);
+  EXPECT_EQ(reversed.exit_code(), 0);
+}
+
+TEST(BenchDiff, ZeroBaselineHandling) {
+  const JsonValue base = parse_json(
+      patched("\"pipeline.balance_moves\": 17",
+              "\"pipeline.balance_moves\": 0"));
+  // Zero -> zero: clean.
+  EXPECT_EQ(diff_run_records(base, base).exit_code(), 0);
+  // Zero -> nonzero on a deterministic metric: behaviour change, hard.
+  const JsonValue nonzero = parse_json(kRecord);
+  EXPECT_EQ(diff_run_records(base, nonzero).exit_code(), 2);
+  // Zero baseline on a timing metric is unnormalizable: skipped.
+  const JsonValue zero_time =
+      parse_json(patched("\"wall_ms\": 120.5", "\"wall_ms\": 0"));
+  const DiffResult result = diff_run_records(zero_time, parse_json(kRecord));
+  EXPECT_EQ(result.exit_code(), 0);
+}
+
+TEST(BenchDiff, NonFiniteValuesAreSkippedNotFatal) {
+  // json_number renders NaN as null; it must flatten to a skip.
+  const JsonValue base = parse_json(patched("\"p50\": 350.0", "\"p50\": null"));
+  const DiffResult result = diff_run_records(base, parse_json(kRecord));
+  EXPECT_EQ(result.exit_code(), 0);
+  for (const auto& d : result.deltas) {
+    if (d.name == "histograms.engine.access_latency_ns.p50") {
+      EXPECT_EQ(d.verdict, Verdict::kSkipped);
+    }
+  }
+}
+
+TEST(BenchDiff, DiffTableListsRegressions) {
+  const JsonValue base = parse_json(kRecord);
+  const JsonValue worse =
+      parse_json(patched("\"pipeline.balance_moves\": 17",
+                         "\"pipeline.balance_moves\": 21"));
+  const DiffResult result = diff_run_records(base, worse);
+  const Table table = diff_table(result, /*color=*/false, /*all=*/false);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("counters.pipeline.balance_moves"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("HARD REGRESSION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlsc::obs

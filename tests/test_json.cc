@@ -1,0 +1,88 @@
+// Tests for the minimal JSON parser the observability tools use to read
+// run records, metric dumps, and trace files back.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "support/check.h"
+#include "support/json.h"
+
+namespace mlsc {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  // \uXXXX decodes to UTF-8.
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = parse_json(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.is_object());
+  const auto& arr = v.find("a")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[1].as_number(), 2.0);
+  EXPECT_TRUE(arr[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find("c")->find("d")->is_null());
+  EXPECT_EQ(v.find("e")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, PreservesObjectOrder) {
+  const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = v.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, ForgivingAccessors) {
+  const JsonValue v = parse_json(R"({"n": 1.5, "s": "str", "nil": null})");
+  EXPECT_DOUBLE_EQ(v.find("n")->number_or(-1.0), 1.5);
+  EXPECT_EQ(v.find("s")->string_or("fb"), "str");
+  // null reads back as the fallback — the emitters render non-finite
+  // doubles as null, and NaN fallbacks mark the metric unusable.
+  EXPECT_TRUE(std::isnan(v.find("nil")->number_or(
+      std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_DOUBLE_EQ(v.find("s")->number_or(-1.0), -1.0);  // wrong kind
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1, 2,]"), Error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("nul"), Error);
+  EXPECT_THROW(parse_json("1 2"), Error);  // trailing garbage
+}
+
+TEST(Json, ParsesFileAndReportsMissing) {
+  const std::string path = ::testing::TempDir() + "mlsc_json_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"schema": "mlsc-run-record-v1", "phases": []})";
+  }
+  const JsonValue v = parse_json_file(path);
+  EXPECT_EQ(v.find("schema")->as_string(), "mlsc-run-record-v1");
+  std::remove(path.c_str());
+  EXPECT_THROW(parse_json_file(path), Error);
+}
+
+}  // namespace
+}  // namespace mlsc

@@ -8,11 +8,15 @@
 #include <fstream>
 #include <sstream>
 
+#include <cmath>
+#include <map>
+
 #include "core/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
+#include "support/stats.h"
 #include "support/thread_pool.h"
 #include "support/units.h"
 #include "workloads/registry.h"
@@ -226,6 +230,111 @@ TEST(Metrics, CacheCountersMatchEngineResult) {
   // The latency histogram saw every access.
   EXPECT_EQ(registry.histogram("engine.access_latency_ns", {}).total_count(),
             engine.accesses);
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsNaN) {
+  obs::Histogram hist({1.0, 2.0});
+  EXPECT_TRUE(std::isnan(hist.quantile(50.0)));
+  obs::Histogram no_bounds({});
+  no_bounds.observe(1.0);
+  EXPECT_TRUE(std::isnan(no_bounds.quantile(50.0)));
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesUniformly) {
+  // Four observations inside [0, 10): the estimator assumes a uniform
+  // spread, so it must agree with percentile_of on evenly spaced samples
+  // (the two share quantile_rank + lerp).
+  obs::Histogram hist({10.0});
+  const std::vector<double> samples = {2.5, 5.0, 7.5, 10.0};
+  for (double s : samples) hist.observe(s);
+  EXPECT_DOUBLE_EQ(hist.quantile(50.0), 6.25);
+  EXPECT_DOUBLE_EQ(hist.quantile(50.0), percentile_of(samples, 50.0));
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(100.0), 10.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToLastBound) {
+  obs::Histogram hist({1.0, 2.0});
+  hist.observe(5.0);
+  hist.observe(6.0);
+  hist.observe(7.0);  // all land in the overflow bucket
+  EXPECT_DOUBLE_EQ(hist.quantile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(99.0), 2.0);
+}
+
+TEST(HistogramQuantile, ExactBoundaryObservationReturnsBoundary) {
+  // An observation equal to a bound lands in that bound's bucket
+  // (le semantics), and a single such observation reports the bound.
+  obs::Histogram hist({1.0, 2.0});
+  hist.observe(1.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(50.0), 1.0);
+  // A 50/50 split across two buckets: the p50 rank sits at the shared
+  // edge and is clamped into the lower bucket's range.
+  obs::Histogram split({10.0, 20.0});
+  split.observe(5.0);
+  split.observe(5.0);
+  split.observe(15.0);
+  split.observe(15.0);
+  EXPECT_DOUBLE_EQ(split.quantile(50.0), 10.0);
+  EXPECT_GT(split.quantile(90.0), 10.0);
+  EXPECT_LE(split.quantile(90.0), 20.0);
+}
+
+TEST(Metrics, WriteJsonIncludesQuantiles) {
+  ScopedMetrics scoped;
+  auto& registry = obs::Registry::global();
+  registry.histogram("q.hist", {10.0}).observe(5.0);
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_NE(out.str().find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"p99\""), std::string::npos);
+}
+
+TEST(Prometheus, SanitizeMetricName) {
+  EXPECT_EQ(obs::sanitize_metric_name("pipeline.sweep_candidates"),
+            "pipeline_sweep_candidates");
+  EXPECT_EQ(obs::sanitize_metric_name("cache.l1.hit %"), "cache_l1_hit__");
+  EXPECT_EQ(obs::sanitize_metric_name("2q.hits"), "_2q_hits");
+  EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+  EXPECT_EQ(obs::sanitize_metric_name("already_ok:name"), "already_ok:name");
+}
+
+TEST(Prometheus, DumpRoundTripsRegistryValues) {
+  ScopedMetrics scoped;
+  auto& registry = obs::Registry::global();
+  registry.counter("prom.counter").add(42);
+  registry.gauge("prom.gauge").set(2.5);
+  auto& hist = registry.histogram("prom.hist", {1.0, 2.0});
+  hist.observe(0.5);
+  hist.observe(1.5);
+  hist.observe(5.0);
+
+  std::ostringstream out;
+  registry.dump_prometheus(out);
+
+  // Parse the exposition text back into (sample name -> value) and check
+  // it reproduces the registry exactly.
+  std::map<std::string, double> samples;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+  EXPECT_DOUBLE_EQ(samples.at("prom_counter"), 42.0);
+  EXPECT_DOUBLE_EQ(samples.at("prom_gauge"), 2.5);
+  EXPECT_DOUBLE_EQ(samples.at("prom_hist_bucket{le=\"1\"}"), 1.0);   // 0.5
+  EXPECT_DOUBLE_EQ(samples.at("prom_hist_bucket{le=\"2\"}"), 2.0);   // cumulative
+  EXPECT_DOUBLE_EQ(samples.at("prom_hist_bucket{le=\"+Inf\"}"), 3.0);
+  EXPECT_DOUBLE_EQ(samples.at("prom_hist_sum"), 7.0);
+  EXPECT_DOUBLE_EQ(samples.at("prom_hist_count"), 3.0);
+  // Type lines exist for every family.
+  EXPECT_NE(out.str().find("# TYPE prom_counter counter"), std::string::npos);
+  EXPECT_NE(out.str().find("# TYPE prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(out.str().find("# TYPE prom_hist histogram"), std::string::npos);
 }
 
 TEST(Metrics, WriteMetricsFileProducesJson) {

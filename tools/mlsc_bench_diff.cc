@@ -1,0 +1,122 @@
+// mlsc_bench_diff — compares a bench run record against a committed
+// baseline and fails on performance regressions (DESIGN.md §13).
+//
+// Usage:
+//   mlsc_bench_diff <baseline.json> <current.json>
+//       [--det-threshold=F] [--time-threshold=F] [--hard-factor=F]
+//       [--all] [--csv] [--color|--no-color]
+//
+// Exit codes: 0 no regression, 1 soft regression(s), 2 hard
+// regression(s), 3 usage or parse error.
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/bench_diff.h"
+#include "support/check.h"
+#include "support/json.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace mlsc;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <baseline.json> <current.json> [options]\n"
+      << "  --det-threshold=F   relative tolerance for deterministic "
+         "metrics (default 0.001)\n"
+      << "  --time-threshold=F  relative tolerance for timing metrics, "
+         "before the\n"
+      << "                      (1 + 1/sqrt(reps)) noise margin (default "
+         "0.30)\n"
+      << "  --hard-factor=F     hard regression above F x threshold "
+         "(default 2.0)\n"
+      << "  --all               list every compared metric, not just "
+         "deviations\n"
+      << "  --csv               CSV output (implies no color)\n"
+      << "  --color/--no-color  force ANSI colors on/off (default: on "
+         "when stdout is a tty)\n"
+      << "exit: 0 clean, 1 soft regression, 2 hard regression, 3 error\n";
+  std::exit(3);
+}
+
+double parse_double(const char* argv0, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    usage(argv0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  obs::DiffOptions options;
+  bool all = false;
+  bool csv = false;
+  bool color = isatty(STDOUT_FILENO) != 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--det-threshold=", 0) == 0) {
+      options.det_threshold =
+          parse_double(argv[0], arg.substr(std::strlen("--det-threshold=")));
+    } else if (arg.rfind("--time-threshold=", 0) == 0) {
+      options.time_threshold = parse_double(
+          argv[0], arg.substr(std::strlen("--time-threshold=")));
+    } else if (arg.rfind("--hard-factor=", 0) == 0) {
+      options.hard_factor =
+          parse_double(argv[0], arg.substr(std::strlen("--hard-factor=")));
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--color") {
+      color = true;
+    } else if (arg == "--no-color") {
+      color = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(argv[0]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) usage(argv[0]);
+  if (csv) color = false;
+
+  try {
+    const JsonValue baseline = parse_json_file(baseline_path);
+    const JsonValue current = parse_json_file(current_path);
+    const obs::DiffResult result =
+        obs::diff_run_records(baseline, current, options);
+
+    const Table table = obs::diff_table(result, color, all);
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      if (table.num_rows() == 0) {
+        std::cout << "no deviations";
+      } else {
+        table.print(std::cout);
+      }
+      std::cout << "\ncompared " << result.compared << " metrics: "
+                << result.hard_regressions << " hard, "
+                << result.soft_regressions << " soft regression(s), "
+                << result.improvements << " improvement(s), "
+                << result.missing << " missing\n";
+    }
+    return result.exit_code();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  }
+}

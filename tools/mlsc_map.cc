@@ -12,21 +12,30 @@
 //            [--balance FRACTION] [--alpha A] [--beta B]
 //            [--write-back] [--cooperative] [--readahead N]
 //            [--size-factor F] [--threads N]
-//            [--trace PATH] [--metrics PATH]
+//            [--trace PATH] [--metrics PATH] [--json PATH]
+//            [--log-level debug|info|warn|error|off]
 //            [--report stats|mapping|codegen|csv]
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/client_codegen.h"
 #include "obs/metrics.h"
+#include "obs/run_record.h"
 #include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
+#include "support/log.h"
 #include "support/string_util.h"
 #include "support/table.h"
 #include "workloads/irregular.h"
 #include "workloads/registry.h"
+
+#ifndef MLSC_BUILD_TYPE
+#define MLSC_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -52,6 +61,11 @@ using namespace mlsc;
          "(default 1, result is identical for any value)\n"
       << "  --trace PATH        write a Chrome trace_event JSON timeline\n"
       << "  --metrics PATH      write the metrics registry as JSON\n"
+      << "  --json PATH         write a run record (tables, phases, "
+         "metadata,\n"
+      << "                      metrics snapshot) for mlsc_bench_diff / "
+         "mlsc_report\n"
+      << "  --log-level L       debug|info|warn|error|off (default warn)\n"
       << "  --report KIND       stats|full|compare|mapping|codegen|csv (default stats)\n";
   std::exit(2);
 }
@@ -69,6 +83,7 @@ int main(int argc, char** argv) {
   double beta = 0.5;
   std::string trace_path;
   std::string metrics_path;
+  std::string json_path;
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0]);
@@ -85,6 +100,17 @@ int main(int argc, char** argv) {
         metrics_path = arg.substr(std::strlen("--metrics="));
       } else if (arg == "--metrics") {
         metrics_path = next_value(i);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path = arg.substr(std::strlen("--json="));
+      } else if (arg == "--json") {
+        json_path = next_value(i);
+      } else if (arg.rfind("--log-level=", 0) == 0 || arg == "--log-level") {
+        const std::string name = arg == "--log-level"
+                                     ? next_value(i)
+                                     : arg.substr(std::strlen("--log-level="));
+        LogLevel level;
+        if (!parse_log_level(name, &level)) usage(argv[0]);
+        set_log_level(level);
       } else if (arg == "--workload") {
         workload_name = next_value(i);
       } else if (arg == "--scheme") {
@@ -164,6 +190,22 @@ int main(int argc, char** argv) {
     }
   } obs_flush{trace_path, metrics_path};
 
+  obs::RunRecord record;
+  record.binary = "mlsc_map";
+  record.machine = machine.to_string();
+  record.apps = {workload_name};
+  record.build_type = MLSC_BUILD_TYPE;
+  record.hardware_threads = std::thread::hardware_concurrency();
+  auto write_record = [&] {
+    if (json_path.empty()) return;
+    record.include_metrics = obs::metrics_enabled();
+    if (record.write_file(json_path)) {
+      std::cerr << "[mlsc_map] wrote " << json_path << "\n";
+    } else {
+      std::cerr << "error: cannot write " << json_path << "\n";
+    }
+  };
+
   try {
     const auto workload =
         workload_name == "irregular"
@@ -181,7 +223,11 @@ int main(int argc, char** argv) {
       options.balance_threshold = scheme.balance_threshold;
       options.num_threads = scheme.num_threads;
       core::MappingPipeline pipeline(tree, options);
-      const auto mapping = pipeline.run_all(workload.program, space);
+      const auto mapping = [&] {
+        obs::ScopedPhase phase(record, "mapping");
+        return pipeline.run_all(workload.program, space);
+      }();
+      write_record();
       if (report == "codegen") {
         std::cout << core::emit_all_clients_source(workload.program,
                                                    mapping);
@@ -203,16 +249,32 @@ int main(int argc, char** argv) {
     }
 
     if (report == "full") {
-      const auto r = sim::run_experiment(workload, scheme, machine);
+      const auto r = [&] {
+        obs::ScopedPhase phase(record, "experiment");
+        return sim::run_experiment(workload, scheme, machine);
+      }();
+      record.tables = sim::report_tables(r);
+      write_record();
       sim::write_report(std::cout, r, machine);
       return 0;
     }
     if (report == "compare") {
-      const auto results = sim::run_all_schemes(workload, machine);
-      sim::comparison_table(results).print(std::cout);
+      const auto results = [&] {
+        obs::ScopedPhase phase(record, "compare");
+        return sim::run_all_schemes(workload, machine);
+      }();
+      record.tables.emplace_back("scheme comparison",
+                                 sim::comparison_table(results));
+      write_record();
+      record.tables.back().second.print(std::cout);
       return 0;
     }
-    const auto r = sim::run_experiment(workload, scheme, machine);
+    const auto r = [&] {
+      obs::ScopedPhase phase(record, "experiment");
+      return sim::run_experiment(workload, scheme, machine);
+    }();
+    record.tables = sim::report_tables(r);
+    write_record();
     if (report == "csv") {
       Table table({"workload", "scheme", "l1_miss", "l2_miss", "l3_miss",
                    "disk_requests", "io_latency_ns", "exec_time_ns"});

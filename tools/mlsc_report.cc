@@ -1,0 +1,84 @@
+// mlsc_report — renders a run record (and optionally its trace) into a
+// single self-contained HTML page suitable for archiving as a CI
+// artifact: per-client stall-breakdown stacked bars, per-level
+// miss-rate tables, phase duration bars, and the access-latency
+// histogram, with no external assets.
+//
+// Usage:
+//   mlsc_report <run_record.json> [--trace=<trace.json>]
+//               [--out=<report.html>]
+//
+// Default output path is the record path with a ".html" suffix; "-"
+// writes to stdout.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/report_html.h"
+#include "support/check.h"
+#include "support/json.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <run_record.json> [--trace=<trace.json>] "
+               "[--out=<report.html>]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mlsc;
+  std::string record_path;
+  std::string trace_path;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(argv[0]);
+    } else if (record_path.empty()) {
+      record_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (record_path.empty()) usage(argv[0]);
+  if (out_path.empty()) out_path = record_path + ".html";
+
+  try {
+    const JsonValue record = parse_json_file(record_path);
+    JsonValue trace;
+    const bool have_trace = !trace_path.empty();
+    if (have_trace) trace = parse_json_file(trace_path);
+
+    const std::string html =
+        obs::render_html_report(record, have_trace ? &trace : nullptr);
+    if (out_path == "-") {
+      std::cout << html;
+      return 0;
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+    out << html;
+    if (!out.good()) {
+      std::cerr << "error: writing " << out_path << " failed\n";
+      return 1;
+    }
+    std::cerr << "[report] wrote " << out_path << "\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
