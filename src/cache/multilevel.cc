@@ -45,6 +45,8 @@ MultiLevelCache::MultiLevelCache(const topology::HierarchyTree& tree,
   MLSC_CHECK(tree_.finalized(), "hierarchy tree must be finalized");
   MLSC_CHECK(chunk_size_ > 0, "chunk size must be positive");
   caches_.resize(tree_.num_nodes());
+  failed_.assign(tree_.num_nodes(), 0);
+  base_chunks_.assign(tree_.num_nodes(), 0);
   for (topology::NodeId id = 0; id < tree_.num_nodes(); ++id) {
     const auto& node = tree_.node(id);
     if (node.cache_capacity_bytes == 0) continue;
@@ -52,6 +54,7 @@ MultiLevelCache::MultiLevelCache(const topology::HierarchyTree& tree,
         static_cast<std::size_t>(node.cache_capacity_bytes / chunk_size_);
     MLSC_CHECK(chunks > 0, "cache at " << node.name
                                        << " smaller than one chunk");
+    base_chunks_[id] = chunks;
     caches_[id] = std::make_unique<StorageCache>(node.name, chunks, policy);
     if (obs::metrics_enabled()) {
       caches_[id]->bind_metrics(metric_prefix(node.kind));
@@ -63,6 +66,27 @@ const StorageCache& MultiLevelCache::cache(topology::NodeId node) const {
   MLSC_CHECK(node < caches_.size() && caches_[node] != nullptr,
              "node " << node << " has no cache");
   return *caches_[node];
+}
+
+void MultiLevelCache::set_node_failed(topology::NodeId node, bool failed) {
+  MLSC_CHECK(node < caches_.size(), "node " << node << " out of range");
+  if (caches_[node] == nullptr) return;
+  if (failed && failed_[node] == 0) {
+    caches_[node]->clear();  // fail-stop: contents (dirty data too) lost
+  } else if (!failed && failed_[node] != 0) {
+    caches_[node]->set_capacity(base_chunks_[node]);  // cold restart
+  }
+  failed_[node] = failed ? 1 : 0;
+}
+
+void MultiLevelCache::set_node_capacity_divisor(topology::NodeId node,
+                                                double divisor) {
+  MLSC_CHECK(node < caches_.size(), "node " << node << " out of range");
+  MLSC_CHECK(divisor >= 1.0, "capacity divisor must be >= 1");
+  if (caches_[node] == nullptr) return;
+  const auto chunks = static_cast<std::size_t>(
+      static_cast<double>(base_chunks_[node]) / divisor);
+  caches_[node]->set_capacity(chunks > 0 ? chunks : 1);
 }
 
 void MultiLevelCache::fill(topology::NodeId node, ChunkId chunk, bool dirty,
@@ -81,7 +105,7 @@ void MultiLevelCache::fill(topology::NodeId node, ChunkId chunk, bool dirty,
 
   topology::NodeId parent = tree_.node(node).parent;
   while (parent != topology::kInvalidNode) {
-    if (caches_[parent] != nullptr) {
+    if (caches_[parent] != nullptr && failed_[parent] == 0) {
       if (placement_ != PlacementMode::kAccessBased) {
         fill(parent, evicted->chunk, evicted->dirty, writebacks);
       } else if (caches_[parent]->contains(evicted->chunk)) {
@@ -108,6 +132,28 @@ AccessResult MultiLevelCache::access(topology::NodeId client, ChunkId chunk,
   std::vector<topology::NodeId> missed;  // cached nodes probed and missed
   for (topology::NodeId node : path) {
     if (caches_[node] == nullptr) continue;
+    if (failed_[node] != 0) {
+      // Degraded routing: a failed cache is detected (costing a failover
+      // penalty upstream), then its healthy siblings are probed before
+      // the walk falls through to the next level.
+      ++result.failed_probes;
+      const topology::NodeId parent = tree_.node(node).parent;
+      if (parent != topology::kInvalidNode) {
+        for (topology::NodeId sibling : tree_.node(parent).children) {
+          if (sibling == node || caches_[sibling] == nullptr ||
+              failed_[sibling] != 0) {
+            continue;
+          }
+          if (caches_[sibling]->contains(chunk)) {
+            result.hit_node = sibling;
+            result.peer_hit = true;
+            break;
+          }
+        }
+        if (result.peer_hit) break;
+      }
+      continue;
+    }
     ++result.caches_probed;
     if (caches_[node]->access(chunk)) {
       result.hit_node = node;
@@ -121,7 +167,10 @@ AccessResult MultiLevelCache::access(topology::NodeId client, ChunkId chunk,
       const topology::NodeId parent = tree_.node(client).parent;
       if (parent != topology::kInvalidNode) {
         for (topology::NodeId sibling : tree_.node(parent).children) {
-          if (sibling == client || caches_[sibling] == nullptr) continue;
+          if (sibling == client || caches_[sibling] == nullptr ||
+              failed_[sibling] != 0) {
+            continue;
+          }
           if (caches_[sibling]->contains(chunk)) {
             result.hit_node = sibling;
             result.peer_hit = true;
@@ -157,7 +206,8 @@ AccessResult MultiLevelCache::access(topology::NodeId client, ChunkId chunk,
       break;
   }
 
-  if (is_write && write_back_ && caches_[client] != nullptr) {
+  if (is_write && write_back_ && caches_[client] != nullptr &&
+      failed_[client] == 0) {
     caches_[client]->mark_dirty(chunk);
   }
   return result;
@@ -167,7 +217,7 @@ std::uint32_t MultiLevelCache::install(topology::NodeId client,
                                        ChunkId chunk) {
   std::uint32_t writebacks = 0;
   for (topology::NodeId node : tree_.path_to_root(client)) {
-    if (caches_[node] == nullptr) continue;
+    if (caches_[node] == nullptr || failed_[node] != 0) continue;
     if (!caches_[node]->contains(chunk)) {
       fill(node, chunk, /*dirty=*/false, writebacks);
     }
@@ -178,7 +228,8 @@ std::uint32_t MultiLevelCache::install(topology::NodeId client,
 bool MultiLevelCache::resident_on_path(topology::NodeId client,
                                        ChunkId chunk) const {
   for (topology::NodeId node : tree_.path_to_root(client)) {
-    if (caches_[node] != nullptr && caches_[node]->contains(chunk)) {
+    if (caches_[node] != nullptr && failed_[node] == 0 &&
+        caches_[node]->contains(chunk)) {
       return true;
     }
   }

@@ -42,6 +42,9 @@ struct AccessResult {
   /// Number of caches interrogated before the hit (>= 1 when the client
   /// node carries a cache).
   std::uint32_t caches_probed = 0;
+  /// Failed caches on the path that had to be detected and skipped
+  /// (each one costs a failover-detection penalty in the engine).
+  std::uint32_t failed_probes = 0;
   /// Dirty chunks this access pushed out of the bottom of the hierarchy
   /// (they must be written back to disk).
   std::uint32_t writebacks_to_disk = 0;
@@ -84,6 +87,21 @@ class MultiLevelCache {
   }
   const StorageCache& cache(topology::NodeId node) const;
 
+  /// Fail-stop / recovery of one node's cache (fault injection).  Failing
+  /// drops the cache's contents (dirty data included — the device lost
+  /// it); while failed the cache serves nothing and accepts nothing, and
+  /// path walks skip it, counting a failed probe.  Recovery restarts it
+  /// cold at its healthy capacity.  No-op on uncached nodes.
+  void set_node_failed(topology::NodeId node, bool failed);
+  bool node_failed(topology::NodeId node) const {
+    return failed_[node] != 0;
+  }
+
+  /// Degraded capacity: restarts the node's cache cold at
+  /// base_capacity / divisor chunks (at least one).  divisor 1 restores
+  /// the healthy capacity.  No-op on uncached nodes.
+  void set_node_capacity_divisor(topology::NodeId node, double divisor);
+
   /// Sums the stats of every cache of the given node kind; with the
   /// layered topology this yields the paper's L1 (compute), L2 (I/O) and
   /// L3 (storage) rows.
@@ -107,6 +125,8 @@ class MultiLevelCache {
   bool write_back_ = false;
   bool cooperative_ = false;
   std::vector<std::unique_ptr<StorageCache>> caches_;  // by node id
+  std::vector<char> failed_;                           // by node id
+  std::vector<std::size_t> base_chunks_;               // healthy capacity
 };
 
 }  // namespace mlsc::cache

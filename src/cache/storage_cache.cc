@@ -65,4 +65,13 @@ void StorageCache::mark_dirty(ChunkId id) {
   if (core_->contains(id)) dirty_.insert(id);
 }
 
+void StorageCache::clear() { set_capacity(core_->capacity()); }
+
+void StorageCache::set_capacity(std::size_t capacity_chunks) {
+  // PolicyCore has no resize/clear; recreating it restarts the cache
+  // cold, which is exactly the fail-stop / degraded-restart semantics.
+  core_ = make_policy(core_->kind(), capacity_chunks);
+  dirty_.clear();
+}
+
 }  // namespace mlsc::cache

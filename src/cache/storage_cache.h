@@ -69,6 +69,14 @@ class StorageCache {
     return core_->erase(id);
   }
 
+  /// Drops every resident chunk (fail-stop: contents are lost, dirty data
+  /// included).  Statistics survive; the policy core restarts cold.
+  void clear();
+
+  /// Restarts the cache cold at a new capacity (degraded mode).  Contents
+  /// are dropped because the underlying device lost them; stats survive.
+  void set_capacity(std::size_t capacity_chunks);
+
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 

@@ -1,0 +1,18 @@
+#include "resilience/retry.h"
+
+#include <cmath>
+
+namespace mlsc::resilience {
+
+Nanoseconds RetryPolicy::backoff(std::uint32_t retry_number) const {
+  if (retry_number == 0) return 0;
+  double delay = static_cast<double>(initial_backoff_ns);
+  const double cap = static_cast<double>(max_backoff_ns);
+  for (std::uint32_t i = 1; i < retry_number && delay < cap; ++i) {
+    delay *= multiplier;
+  }
+  if (delay > cap) delay = cap;
+  return static_cast<Nanoseconds>(delay);
+}
+
+}  // namespace mlsc::resilience

@@ -1,0 +1,42 @@
+// Retry policy for transient I/O errors in degraded-mode replay.
+//
+// A transient disk or network error costs the wasted attempt plus a
+// capped exponential backoff before the next try; a per-access timeout
+// budget bounds how long one access may spend retrying before the engine
+// declares a timeout and serves the access through the fallback path.
+// All values are virtual nanoseconds — the engine charges them to the
+// simulated clock, never to wall time.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.h"
+
+namespace mlsc::resilience {
+
+struct RetryPolicy {
+  /// Total tries per operation, including the first.  After
+  /// `max_attempts - 1` consecutive errors the final attempt is served
+  /// unconditionally (the storage stack escalates past the flaky path).
+  std::uint32_t max_attempts = 4;
+
+  /// Backoff charged before retry n (1-based) is
+  /// initial_backoff_ns * multiplier^(n-1), capped at max_backoff_ns.
+  Nanoseconds initial_backoff_ns = 50 * kMicrosecond;
+  double multiplier = 2.0;
+  Nanoseconds max_backoff_ns = 2 * kMillisecond;
+
+  /// Per-access retry budget: once the time spent on failed attempts and
+  /// backoffs reaches this, the access times out — the engine charges
+  /// exactly the budget remainder and counts a retry timeout.
+  Nanoseconds access_timeout_ns = 20 * kMillisecond;
+
+  /// Cost of probing a failed cache node before falling through to the
+  /// next level or a healthy peer (connection timeout + redirect).
+  Nanoseconds failover_detect_ns = 100 * kMicrosecond;
+
+  /// Backoff before retry `retry_number` (1-based): capped exponential.
+  Nanoseconds backoff(std::uint32_t retry_number) const;
+};
+
+}  // namespace mlsc::resilience

@@ -7,6 +7,7 @@
 #include "io/striping.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/fault.h"
 #include "support/check.h"
 
 namespace mlsc::sim {
@@ -39,7 +40,8 @@ struct HeapEntry {
 EngineResult run_engine(const Trace& trace,
                         const core::MappingResult& mapping,
                         const MachineConfig& config,
-                        const topology::HierarchyTree& tree) {
+                        const topology::HierarchyTree& tree,
+                        resilience::FaultInjector* faults) {
   const std::size_t num_clients = trace.clients.size();
   MLSC_CHECK(num_clients == tree.num_clients(),
              "trace client count does not match the tree");
@@ -157,6 +159,23 @@ EngineResult run_engine(const Trace& trace,
     if (s.done) continue;
     const ClientTrace& ct = trace.clients[c];
 
+    if (faults != nullptr) {
+      // The globally earliest client crosses fault timestamps first, so
+      // events fire exactly when virtual time reaches them.
+      faults->advance_to(s.clock, &caches);
+      // Global stall events (remap downtime) are charged lazily: each
+      // client absorbs its uncharged share when it next runs, then goes
+      // back on the heap so the earliest-first ordering stays exact.
+      const Nanoseconds stall = faults->take_pending_stall(c);
+      if (stall > 0) {
+        emit_client(c, "fault stall", s.clock, stall);
+        s.clock += stall;
+        result.fault_stall_total += stall;
+        heap.push(HeapEntry{s.clock, c});
+        continue;
+      }
+    }
+
     // Skip exhausted items (possible when an item has zero iterations).
     while (s.item < ct.items.size() &&
            s.iter >= ct.items[s.item].iterations) {
@@ -213,17 +232,41 @@ EngineResult run_engine(const Trace& trace,
 
     for (std::uint8_t a = 0; a < count; ++a) {
       const Access& access = ct.accesses[s.access++];
+      // Identity of this operation for transient-error draws: the
+      // client's position in its own access stream, which is invariant
+      // under replay interleaving and thread count.
+      const std::uint64_t op_id = s.access - 1;
       const auto hit =
           caches.access(client_node, access.chunk, access.is_write);
       for (std::uint32_t w = 0; w < hit.writebacks_to_disk; ++w) {
         charge_disk_async(access.chunk, io::SeekClass::kNear);
         ++result.disk_writebacks;
       }
+
+      // Failed caches on the path each cost a failover-detection penalty
+      // (probe, time out, redirect) before the access proceeds.
+      Nanoseconds failover_ns = 0;
+      if (faults != nullptr && hit.failed_probes > 0) {
+        failover_ns = hit.failed_probes * faults->retry().failover_detect_ns;
+        result.time_failover += failover_ns;
+        result.failovers += hit.failed_probes;
+      }
+
       Nanoseconds latency = 0;
       const char* stall = "disk";
+      // Transient-error exposure of the serving path: disk errors for
+      // misses, network errors for remote cache hits; a hit in the
+      // client's own cache is local and cannot draw an error.
+      double error_rate = 0.0;
       if (hit.peer_hit) {
         // Cooperative hit in a sibling's cache: two hops via the parent.
         latency = network.transfer_time(config.chunk_size_bytes, 2);
+        if (faults != nullptr) {
+          latency = static_cast<Nanoseconds>(
+              static_cast<double>(latency) *
+              faults->latency_factor(hit.hit_node));
+          error_rate = faults->net_error_rate();
+        }
         result.time_peer_cache += latency;
         ++result.peer_hits;
         stall = "peer hit";
@@ -231,10 +274,17 @@ EngineResult run_engine(const Trace& trace,
         const std::uint32_t hops =
             client_level - tree.node(hit.hit_node).level;
         latency = network.transfer_time(config.chunk_size_bytes, hops);
+        if (faults != nullptr) {
+          // Degraded node: the whole service time stretches by its factor.
+          latency = static_cast<Nanoseconds>(
+              static_cast<double>(latency) *
+              faults->latency_factor(hit.hit_node));
+        }
         if (hit.hit_node == client_node) {
           result.time_client_cache += latency;
           stall = "l1 hit";
         } else {
+          if (faults != nullptr) error_rate = faults->net_error_rate();
           result.time_shared_cache += latency;
           stall = tree.node(hit.hit_node).kind == topology::NodeKind::kIo
                       ? "l2 hit"
@@ -254,6 +304,7 @@ EngineResult run_engine(const Trace& trace,
         disk_last_chunk[sn] = access.chunk;
         latency = network.transfer_time(config.chunk_size_bytes, disk_hops) +
                   queue_delay + service;
+        if (faults != nullptr) error_rate = faults->disk_error_rate();
         result.time_disk += latency;
         result.time_disk_queue += queue_delay;
         ++result.disk_requests;
@@ -276,12 +327,44 @@ EngineResult run_engine(const Trace& trace,
           ++result.prefetches;
         }
       }
-      emit_client(c, stall, s.clock, latency);
-      if (latency_hist != nullptr) {
-        latency_hist->observe(static_cast<double>(latency));
+      // Transient errors: each failed attempt wastes the service latency
+      // plus a capped exponential backoff; the per-access timeout budget
+      // bounds the total, charging exactly the remainder when it trips.
+      Nanoseconds retry_ns = 0;
+      if (faults != nullptr && error_rate > 0.0) {
+        const resilience::RetryPolicy& rp = faults->retry();
+        for (std::uint32_t attempt = 1; attempt < rp.max_attempts;
+             ++attempt) {
+          if (!faults->draw_error(c, op_id, attempt, error_rate)) break;
+          ++result.transient_errors;
+          Nanoseconds cost = latency + rp.backoff(attempt);
+          if (retry_ns + cost >= rp.access_timeout_ns) {
+            retry_ns = rp.access_timeout_ns;
+            ++result.retry_timeouts;
+            break;
+          }
+          retry_ns += cost;
+          ++result.retries;
+        }
+        result.time_retry += retry_ns;
       }
-      s.clock += latency;
-      s.io_time += latency;
+
+      Nanoseconds t = s.clock;
+      if (failover_ns > 0) {
+        emit_client(c, "failover", t, failover_ns);
+        t += failover_ns;
+      }
+      if (retry_ns > 0) {
+        emit_client(c, "retry", t, retry_ns);
+        t += retry_ns;
+      }
+      emit_client(c, stall, t, latency);
+      const Nanoseconds total = failover_ns + retry_ns + latency;
+      if (latency_hist != nullptr) {
+        latency_hist->observe(static_cast<double>(total));
+      }
+      s.clock += total;
+      s.io_time += total;
       ++result.accesses;
     }
 
@@ -311,6 +394,29 @@ EngineResult run_engine(const Trace& trace,
   result.l1 = caches.aggregate_stats(topology::NodeKind::kCompute);
   result.l2 = caches.aggregate_stats(topology::NodeKind::kIo);
   result.l3 = caches.aggregate_stats(topology::NodeKind::kStorage);
+
+  if (faults != nullptr) {
+    result.faults_applied = faults->events_applied();
+    if (tracing) {
+      // A dedicated virtual-time track showing when each fault fired.
+      const auto fault_pid =
+          obs::kClientPidBase + static_cast<std::int64_t>(num_clients);
+      obs::set_process_name(fault_pid, "faults");
+      obs::set_thread_name(fault_pid, 0, "schedule");
+      for (const auto& applied : faults->applied()) {
+        obs::emit_complete(fault_pid, 0, applied.description, applied.at,
+                           kMicrosecond);
+      }
+    }
+    MLSC_COUNTER_ADD("engine.faults_applied", result.faults_applied);
+    MLSC_COUNTER_ADD("engine.transient_errors", result.transient_errors);
+    MLSC_COUNTER_ADD("engine.retries", result.retries);
+    MLSC_COUNTER_ADD("engine.retry_timeouts", result.retry_timeouts);
+    MLSC_COUNTER_ADD("engine.failovers", result.failovers);
+    MLSC_COUNTER_ADD("engine.retry_ns", result.time_retry);
+    MLSC_COUNTER_ADD("engine.failover_ns", result.time_failover);
+    MLSC_COUNTER_ADD("engine.fault_stall_ns", result.fault_stall_total);
+  }
 
   MLSC_COUNTER_ADD("engine.accesses", result.accesses);
   MLSC_COUNTER_ADD("engine.disk_requests", result.disk_requests);

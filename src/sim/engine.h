@@ -13,6 +13,10 @@
 #include "sim/machine.h"
 #include "sim/trace.h"
 
+namespace mlsc::resilience {
+class FaultInjector;
+}  // namespace mlsc::resilience
+
 namespace mlsc::sim {
 
 struct EngineResult {
@@ -33,12 +37,24 @@ struct EngineResult {
   Nanoseconds time_peer_cache = 0;    // cooperative sibling hits
   Nanoseconds time_disk = 0;          // misses serviced by disks
   Nanoseconds time_disk_queue = 0;    // of which: waiting in disk queues
+  Nanoseconds time_retry = 0;         // transient-error attempts + backoff
+  Nanoseconds time_failover = 0;      // detecting/skirting failed caches
 
   std::uint64_t accesses = 0;
   std::uint64_t disk_requests = 0;
   std::uint64_t disk_writebacks = 0;   // dirty chunks flushed (write-back)
   std::uint64_t peer_hits = 0;         // cooperative-caching sibling hits
   std::uint64_t prefetches = 0;        // readahead chunks fetched
+
+  // Fault-injection activity (all zero on healthy runs).
+  std::uint64_t faults_applied = 0;    // schedule events that took effect
+  std::uint64_t transient_errors = 0;  // attempts that drew an I/O error
+  std::uint64_t retries = 0;           // re-attempts after an error
+  std::uint64_t retry_timeouts = 0;    // accesses whose retry budget ran out
+  std::uint64_t failovers = 0;         // failed caches detected and skipped
+  /// Global pause time from stall events (remap downtime).  Charged to
+  /// every live client's clock — part of exec_time, not of the I/O total.
+  Nanoseconds fault_stall_total = 0;
 
   /// Average per-client I/O latency — the paper's "I/O latency" metric.
   Nanoseconds io_time_mean(std::size_t clients) const {
@@ -47,10 +63,16 @@ struct EngineResult {
 };
 
 /// Replays `trace` on the machine.  `mapping` supplies the sync edges;
-/// the trace must have been generated from the same mapping.
+/// the trace must have been generated from the same mapping.  `faults`
+/// (optional) injects the fault schedule during the replay: failed
+/// caches are skipped at a failover-detection cost, transient errors are
+/// retried with capped exponential backoff under a per-access timeout
+/// budget, and every penalty lands in the new retry/failover stall
+/// components (the stall breakdown still sums to io_time_total).
 EngineResult run_engine(const Trace& trace,
                         const core::MappingResult& mapping,
                         const MachineConfig& config,
-                        const topology::HierarchyTree& tree);
+                        const topology::HierarchyTree& tree,
+                        resilience::FaultInjector* faults = nullptr);
 
 }  // namespace mlsc::sim

@@ -1,6 +1,8 @@
 #include "sim/experiment.h"
 
+#include <optional>
 #include <ostream>
+#include <utility>
 
 #include "obs/trace.h"
 #include "support/check.h"
@@ -22,7 +24,8 @@ void ExperimentResult::report(std::ostream& out) const {
 
 ExperimentResult run_experiment(const workloads::Workload& workload,
                                 const SchemeSpec& scheme,
-                                const MachineConfig& config) {
+                                const MachineConfig& config,
+                                const ResilienceSpec* resilience) {
   const auto tree = config.build_tree();
   const core::DataSpace space(workload.program, config.chunk_size_bytes);
 
@@ -36,8 +39,36 @@ ExperimentResult run_experiment(const workloads::Workload& workload,
   options.num_threads = scheme.num_threads;
   options.intra.client_cache_bytes = config.client_cache_bytes;
 
+  ExperimentResult result;
   core::MappingPipeline pipeline(tree, options);
-  const auto mapping = pipeline.run_all(workload.program, space);
+  auto mapping = pipeline.run_all(workload.program, space);
+
+  // Degraded replay: decide up front whether the schedule's failures
+  // warrant a remap; the remap run replays the survivor-topology mapping
+  // for the whole run (plus the remap's downtime as a stall), so the
+  // no-remap and remap runs face the identical fault schedule.
+  std::optional<resilience::FaultInjector> injector;
+  if (resilience != nullptr && !resilience->schedule.empty()) {
+    resilience::FaultSchedule schedule = resilience->schedule;
+    const auto decision =
+        resilience::decide_remap(resilience->remap, schedule);
+    if (decision.triggered) {
+      const auto surviving = resilience::surviving_topology(tree, schedule);
+      mapping = resilience::remap_mapping(surviving, schedule, options,
+                                          workload.program, space);
+      resilience::FaultEvent pause;
+      pause.kind = resilience::FaultKind::kStall;
+      pause.at = decision.at;
+      pause.duration = resilience->remap.remap_pause_ns;
+      schedule.add(pause);
+      result.remapped = true;
+      result.remap_reason = decision.reason;
+      result.remap_pause = pause.duration;
+    }
+    result.fault_summary = schedule.to_string();
+    injector.emplace(std::move(schedule), resilience->retry, tree);
+  }
+
   Trace trace;
   {
     obs::Span span("sim.generate_trace");
@@ -47,11 +78,11 @@ ExperimentResult run_experiment(const workloads::Workload& workload,
   EngineResult engine;
   {
     obs::Span span("sim.run_engine");
-    engine = run_engine(trace, mapping, config, tree);
+    engine = run_engine(trace, mapping, config, tree,
+                        injector.has_value() ? &*injector : nullptr);
     span.arg("accesses", engine.accesses);
   }
 
-  ExperimentResult result;
   result.workload = workload.name;
   result.scheme = scheme.name();
   result.l1_miss_rate = engine.l1.miss_rate();

@@ -11,6 +11,8 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "resilience/fault.h"
+#include "resilience/remap.h"
 #include "sim/engine.h"
 #include "sim/machine.h"
 #include "workloads/workload.h"
@@ -59,6 +61,18 @@ struct SchemeSpec {
   std::string name() const;
 };
 
+/// Degraded-mode replay: a fault schedule plus the retry and remap
+/// policies governing how the run copes with it.
+struct ResilienceSpec {
+  resilience::FaultSchedule schedule;
+  resilience::RetryPolicy retry;
+  /// remap.remap_on_failure selects between plain degraded replay and
+  /// remap-on-failure: when a fail-stop is scheduled, the mapping is
+  /// recomputed over the surviving topology and the run is charged
+  /// remap.remap_pause_ns of downtime at the trigger time.
+  resilience::RemapPolicy remap{.remap_on_failure = false};
+};
+
 struct ExperimentResult {
   std::string workload;
   std::string scheme;
@@ -73,13 +87,23 @@ struct ExperimentResult {
   EngineResult engine;  // full counters for deeper analysis
   std::size_t sync_edges = 0;  // cross-client constraints in the mapping
 
+  // Resilience outcome (defaults on healthy runs).
+  std::string fault_summary;   // schedule actually replayed ("" = none)
+  bool remapped = false;       // mapping recomputed over survivors
+  std::string remap_reason;    // what triggered the remap
+  Nanoseconds remap_pause = 0;  // downtime charged for the remap
+
   void report(std::ostream& out) const;
 };
 
-/// Runs one (workload, scheme, machine) experiment.
+/// Runs one (workload, scheme, machine) experiment.  `resilience`
+/// (optional) replays the run under its fault schedule; with
+/// remap-on-failure enabled the mapping is recomputed over the surviving
+/// topology and the remap's downtime is charged as a stall.
 ExperimentResult run_experiment(const workloads::Workload& workload,
                                 const SchemeSpec& scheme,
-                                const MachineConfig& config);
+                                const MachineConfig& config,
+                                const ResilienceSpec* resilience = nullptr);
 
 /// Ratio helpers for the paper's normalized plots (original == 1.0).
 double normalized(double value, double original);

@@ -48,7 +48,30 @@ std::vector<std::pair<std::string, Table>> report_tables(
   if (e.peer_hits > 0) stall_row("peer cache hits", e.time_peer_cache);
   stall_row("disk service+queue", e.time_disk);
   stall_row("  of which queueing", e.time_disk_queue);
+  // Degraded-mode components appear only when faults produced them, so
+  // healthy-run reports (and their committed baselines) are unchanged.
+  if (e.time_retry > 0) stall_row("transient-error retries", e.time_retry);
+  if (e.time_failover > 0) stall_row("failover detection", e.time_failover);
   tables.emplace_back("io stall breakdown", std::move(where));
+
+  if (e.faults_applied > 0) {
+    Table faults({"fault metric", "value"});
+    faults.add_row({"schedule events applied",
+                    std::to_string(e.faults_applied)});
+    faults.add_row({"transient errors", std::to_string(e.transient_errors)});
+    faults.add_row({"retries", std::to_string(e.retries)});
+    faults.add_row({"retry timeouts", std::to_string(e.retry_timeouts)});
+    faults.add_row({"failovers", std::to_string(e.failovers)});
+    faults.add_row({"retry time (s)", seconds(e.time_retry)});
+    faults.add_row({"failover time (s)", seconds(e.time_failover)});
+    faults.add_row({"fault stall (s)", seconds(e.fault_stall_total)});
+    faults.add_row({"remapped", result.remapped ? "yes" : "no"});
+    if (result.remapped) {
+      faults.add_row({"remap trigger", result.remap_reason});
+      faults.add_row({"remap pause", format_time(result.remap_pause)});
+    }
+    tables.emplace_back("resilience", std::move(faults));
+  }
 
   Table summary({"workload", "scheme", "io_latency_s", "exec_time_s",
                  "disk_requests", "disk_writebacks", "peer_hits",
@@ -70,10 +93,20 @@ void write_report(std::ostream& out, const ExperimentResult& result,
       << "scheme:   " << result.scheme << "\n"
       << "machine:  " << config.to_string() << "\n\n";
 
+  if (!result.fault_summary.empty()) {
+    out << "faults:   " << result.fault_summary << "\n";
+  }
+
   const auto tables = report_tables(result);
   tables[0].second.print(out);  // cache levels
   out << "\n";
   tables[1].second.print(out);  // io stall breakdown
+  for (const auto& [title, table] : tables) {
+    if (title == "resilience") {
+      out << "\n";
+      table.print(out);
+    }
+  }
 
   const auto& e = result.engine;
   out << "\ndisk requests: " << e.disk_requests

@@ -1,0 +1,50 @@
+#include "support/argparse.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+
+namespace mlsc {
+
+bool ArgParser::value_flag(const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg_.rfind(prefix, 0) == 0) {
+    flag_name_ = name;
+    value_ = arg_.substr(prefix.size());
+    return true;
+  }
+  if (arg_ == name) {
+    if (i_ + 1 >= argc_) {
+      throw UsageError(std::string("missing value for ") + name);
+    }
+    flag_name_ = name;
+    value_ = argv_[++i_];
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t ArgParser::value_u64() const {
+  std::uint64_t out = 0;
+  const char* begin = value_.c_str();
+  const char* end = begin + value_.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end || value_.empty()) {
+    throw UsageError(flag_name_ + ": expected a non-negative integer, got '" +
+                     value_ + "'");
+  }
+  return out;
+}
+
+double ArgParser::value_double() const {
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(value_.c_str(), &end);
+  if (end == value_.c_str() || *end != '\0' || errno == ERANGE) {
+    throw UsageError(flag_name_ + ": expected a number, got '" + value_ +
+                     "'");
+  }
+  return out;
+}
+
+}  // namespace mlsc

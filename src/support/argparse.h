@@ -1,0 +1,73 @@
+// Minimal command-line parsing shared by the mlsc_* tools.
+//
+// The tools keep their own explicit flag lists (each one documents its
+// surface in usage()); this helper standardizes the mechanics every list
+// needs: "--flag value" and "--flag=value" both work, numeric values are
+// parsed strictly (trailing garbage rejected), and every misuse throws
+// UsageError so main() can print the usage text and exit with the shared
+// usage exit code instead of crashing or dying on an uncaught exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.h"
+
+namespace mlsc {
+
+/// CLI misuse: unknown flag, missing or malformed value.  Tools catch
+/// this at top level, print the message and usage, and exit
+/// kUsageExitCode.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Exit status for CLI misuse (distinct from 1 = runtime failure).
+inline constexpr int kUsageExitCode = 3;
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// Advances to the next argument; false when exhausted.
+  bool next() {
+    if (i_ + 1 >= argc_) return false;
+    arg_ = argv_[++i_];
+    return true;
+  }
+
+  /// The current raw argument.
+  const std::string& arg() const { return arg_; }
+
+  /// True when the current argument is exactly `name` (boolean flag).
+  bool flag(const char* name) const { return arg_ == name; }
+
+  /// True when the current argument is `name=V` or `name` followed by a
+  /// value argument; value() then returns V.  Throws UsageError when the
+  /// value is missing.
+  bool value_flag(const char* name);
+
+  /// The value captured by the last matching value_flag().
+  const std::string& value() const { return value_; }
+
+  /// Typed conversions of value(); throw UsageError naming the flag on
+  /// malformed input (partial parses and trailing garbage rejected).
+  std::uint64_t value_u64() const;
+  double value_double() const;
+
+  /// Fails the current argument as unknown.
+  [[noreturn]] void unknown() const {
+    throw UsageError("unknown or misplaced argument '" + arg_ + "'");
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_ = 0;
+  std::string arg_;
+  std::string value_;
+  std::string flag_name_;  // last value_flag match, for error messages
+};
+
+}  // namespace mlsc

@@ -103,9 +103,39 @@ class Parser {
   }
 
  private:
+  /// Nesting depth where parsing stops: malicious or corrupt input must
+  /// not be able to overflow the parser's recursion stack.
+  static constexpr int kMaxDepth = 128;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser* parser) : parser(parser) {
+      if (++parser->depth_ > kMaxDepth) {
+        parser->fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser* parser;
+  };
+
   [[noreturn]] void fail(const std::string& what) const {
-    throw Error("JSON parse error at byte " + std::to_string(pos_) + ": " +
-                what);
+    // Report 1-based line/column so editors can jump to the fault; the
+    // byte offset stays for binary-ish inputs.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw Error("JSON parse error at line " + std::to_string(line) +
+                ", column " + std::to_string(column) + " (byte " +
+                std::to_string(pos_) + "): " + what);
   }
 
   void skip_whitespace() {
@@ -158,6 +188,7 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    const DepthGuard guard(this);
     std::vector<std::pair<std::string, JsonValue>> members;
     skip_whitespace();
     if (peek() == '}') {
@@ -167,6 +198,9 @@ class Parser {
     for (;;) {
       skip_whitespace();
       std::string key = parse_string();
+      for (const auto& [existing, value] : members) {
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
       skip_whitespace();
       expect(':');
       members.emplace_back(std::move(key), parse_value());
@@ -181,6 +215,7 @@ class Parser {
 
   JsonValue parse_array() {
     expect('[');
+    const DepthGuard guard(this);
     std::vector<JsonValue> items;
     skip_whitespace();
     if (peek() == ']') {
@@ -301,6 +336,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -70,8 +70,10 @@ class JsonValue {
 };
 
 /// Parses one JSON document (trailing whitespace allowed, trailing
-/// garbage rejected).  Throws Error with a byte offset on malformed
-/// input.
+/// garbage rejected).  Malformed input throws Error with 1-based
+/// line/column plus the byte offset.  Hardened against hostile input:
+/// nesting beyond 128 levels and duplicate object keys are rejected
+/// rather than silently accepted.
 JsonValue parse_json(std::string_view text);
 
 /// Reads and parses a JSON file.  Throws Error when the file cannot be

@@ -46,11 +46,43 @@ std::string pad_right(const std::string& s, std::size_t width) {
   return s + std::string(width - s.size(), ' ');
 }
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not well-formed UTF-8 (overlong encodings, surrogate
+/// code points, out-of-range leads and truncated tails all count as
+/// invalid).
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto lead = static_cast<unsigned char>(s[i]);
+  std::size_t len = 0;
+  if (lead >= 0xC2 && lead <= 0xDF) {
+    len = 2;
+  } else if ((lead & 0xF0) == 0xE0) {
+    len = 3;
+  } else if (lead >= 0xF0 && lead <= 0xF4) {
+    len = 4;
+  } else {
+    return 0;
+  }
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((static_cast<unsigned char>(s[i + k]) & 0xC0) != 0x80) return 0;
+  }
+  const auto second = static_cast<unsigned char>(s[i + 1]);
+  if (lead == 0xE0 && second < 0xA0) return 0;  // overlong 3-byte form
+  if (lead == 0xED && second > 0x9F) return 0;  // UTF-16 surrogate range
+  if (lead == 0xF0 && second < 0x90) return 0;  // overlong 4-byte form
+  if (lead == 0xF4 && second > 0x8F) return 0;  // beyond U+10FFFF
+  return len;
+}
+
+}  // namespace
+
 void write_json_string(std::ostream& out, std::string_view s) {
   constexpr const char* kHex = "0123456789abcdef";
   out << '"';
-  for (char c : s) {
-    const auto ch = static_cast<unsigned char>(c);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto ch = static_cast<unsigned char>(s[i]);
     switch (ch) {
       case '"':
         out << "\\\"";
@@ -76,8 +108,16 @@ void write_json_string(std::ostream& out, std::string_view s) {
       default:
         if (ch < 0x20) {
           out << "\\u00" << kHex[(ch >> 4) & 0xF] << kHex[ch & 0xF];
+        } else if (ch < 0x80) {
+          out << s[i];
+        } else if (const std::size_t len = utf8_sequence_length(s, i);
+                   len > 0) {
+          out << s.substr(i, len);
+          i += len - 1;
         } else {
-          out << c;
+          // Invalid UTF-8 byte: substitute U+FFFD so the document stays
+          // well-formed JSON instead of propagating the bad byte.
+          out << "\\ufffd";
         }
     }
   }

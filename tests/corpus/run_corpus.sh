@@ -1,0 +1,65 @@
+#!/bin/sh
+# Feeds the malformed-input corpus through the real tool binaries and
+# asserts every case exits with the usage exit code (3): a structured
+# parse error, never a crash, hang, or sanitizer abort.
+#
+#   tests/corpus/run_corpus.sh <mlsc_report> <mlsc_map>
+#
+# Run it against a -DMLSC_SANITIZE=address,undefined build to turn the
+# corpus into a memory-safety gate for the parse paths.
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <mlsc_report-binary> <mlsc_map-binary>" >&2
+  exit 2
+fi
+report=$1
+map=$2
+corpus=$(dirname "$0")
+fail=0
+
+expect_usage_error() {
+  # $1 = label, rest = command
+  label=$1
+  shift
+  "$@" >/dev/null 2>&1
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "FAIL: $label exited $rc (want 3)" >&2
+    fail=1
+  else
+    echo "ok: $label"
+  fi
+}
+
+# Malformed JSON documents through the run-record reader.
+for doc in "$corpus"/json/*.json; do
+  expect_usage_error "mlsc_report $(basename "$doc")" "$report" "$doc"
+done
+
+# Deep nesting, generated here rather than committed: the parser must
+# report its depth cap instead of overrunning the stack.
+deep=$(mktemp)
+awk 'BEGIN { for (i = 0; i < 100000; i++) printf "[" }' > "$deep"
+expect_usage_error "mlsc_report deep-nesting" "$report" "$deep"
+awk 'BEGIN { for (i = 0; i < 100000; i++) printf "["
+             for (i = 0; i < 100000; i++) printf "]" }' > "$deep"
+expect_usage_error "mlsc_report deep-nesting-balanced" "$report" "$deep"
+rm -f "$deep"
+
+# Malformed fault-schedule JSON files and spec strings through the CLI.
+for doc in "$corpus"/faults/*.json; do
+  expect_usage_error "mlsc_map --faults=$(basename "$doc")" \
+    "$map" --workload hf --size-factor 0.0625 --faults="$doc"
+done
+while IFS= read -r spec; do
+  [ -n "$spec" ] || continue
+  expect_usage_error "mlsc_map --faults='$spec'" \
+    "$map" --workload hf --size-factor 0.0625 --faults="$spec"
+done < "$corpus"/faults/specs.txt
+
+if [ "$fail" -ne 0 ]; then
+  echo "corpus: FAILURES above" >&2
+  exit 1
+fi
+echo "corpus: all inputs rejected cleanly"

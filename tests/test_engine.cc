@@ -98,7 +98,8 @@ TEST(Engine, StallComponentsSumToTotalIoTime) {
                             core::MapperKind::kInterProcessor}) {
       const auto run = run_tiny(p, tiny_machine(), kind);
       EXPECT_EQ(run.engine.time_client_cache + run.engine.time_shared_cache +
-                    run.engine.time_peer_cache + run.engine.time_disk,
+                    run.engine.time_peer_cache + run.engine.time_disk +
+                    run.engine.time_retry + run.engine.time_failover,
                 run.engine.io_time_total);
       EXPECT_LE(run.engine.time_disk_queue, run.engine.time_disk);
     }

@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
+#include <string>
 
 #include "support/check.h"
 #include "support/json.h"
+#include "support/string_util.h"
+#include "support/table.h"
 
 namespace mlsc {
 namespace {
@@ -70,6 +74,70 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(parse_json("\"unterminated"), Error);
   EXPECT_THROW(parse_json("nul"), Error);
   EXPECT_THROW(parse_json("1 2"), Error);  // trailing garbage
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    parse_json("{\n  \"a\": 1,\n  \"a\" 2\n}");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("column"), std::string::npos) << what;
+  }
+}
+
+TEST(Json, RejectsDuplicateObjectKeys) {
+  EXPECT_THROW(parse_json(R"({"a": 1, "a": 2})"), Error);
+  // Same key at different nesting levels is fine.
+  EXPECT_NO_THROW(parse_json(R"({"a": {"a": 1}})"));
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  const auto nested = [](int depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_NO_THROW(parse_json(nested(128)));
+  EXPECT_THROW(parse_json(nested(129)), Error);
+  // Deep enough input must not overflow the stack before the cap fires.
+  EXPECT_THROW(parse_json(nested(100000)), Error);
+}
+
+TEST(Json, RejectsTruncatedEscapes) {
+  EXPECT_THROW(parse_json(R"("\u00)"), Error);
+  EXPECT_THROW(parse_json("\"\\u12\""), Error);
+  EXPECT_THROW(parse_json("\"tail\\"), Error);
+  EXPECT_THROW(parse_json(R"("\q")"), Error);
+}
+
+TEST(Json, EmitterSanitizesInvalidUtf8) {
+  // Valid multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(json_quote("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+  // Bare continuation bytes, truncated sequences, overlong forms and
+  // surrogate halves all become U+FFFD so the document stays valid JSON.
+  EXPECT_EQ(json_quote("a\x80z"), R"("a\ufffdz")");
+  EXPECT_EQ(json_quote("a\xc3"), R"("a\ufffd")");
+  EXPECT_EQ(json_quote("\xc0\xaf"), R"("\ufffd\ufffd")");       // overlong '/'
+  EXPECT_EQ(json_quote("\xed\xa0\x80"), R"("\ufffd\ufffd\ufffd")");  // D800
+  EXPECT_EQ(json_quote("\xf5\x80\x80\x80"),
+            R"("\ufffd\ufffd\ufffd\ufffd")");  // beyond U+10FFFF
+}
+
+TEST(Json, TablesWithArbitraryBytesRoundTrip) {
+  // Run-record emission must survive hostile cell contents: raw bytes,
+  // control characters, quotes.  The document must parse back.
+  Table table({"name", "value"});
+  table.add_row({"bad \x80\xfe bytes", "quote\"and\\slash"});
+  table.add_row({std::string("nul\0byte", 8), "ctrl\x01\x1f"});
+  std::ostringstream out;
+  table.print_json(out, "hostile");
+  const JsonValue v = parse_json(out.str());
+  EXPECT_EQ(v.find("title")->as_string(), "hostile");
+  const auto& rows = v.find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].as_array()[0].as_string(), "bad \xef\xbf\xbd\xef\xbf\xbd bytes");
+  EXPECT_EQ(rows[0].as_array()[1].as_string(), "quote\"and\\slash");
+  EXPECT_EQ(rows[1].as_array()[1].as_string(), "ctrl\x01\x1f");
 }
 
 TEST(Json, ParsesFileAndReportsMissing) {

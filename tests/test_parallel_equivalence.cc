@@ -11,6 +11,7 @@
 #include "core/graph.h"
 #include "core/mapper.h"
 #include "core/pipeline.h"
+#include "sim/experiment.h"
 #include "support/rng.h"
 #include "workloads/registry.h"
 
@@ -151,6 +152,76 @@ TEST(ParallelEquivalence, GraphAndMapperHandleMoreThan8192Chunks) {
       HierarchicalMapper(tree, parallel_options).map_chunks(chunks);
   EXPECT_EQ(serial.num_clients(), 4u);
   expect_identical(serial, parallel, "synthetic >8192");
+}
+
+// Faulted replay determinism: the engine is serial and the mapping is
+// thread-count-invariant, so one seed + one fault schedule must give a
+// bit-identical EngineResult for every mapping-stage thread count —
+// with and without remap-on-failure.
+void expect_identical_engines(const sim::EngineResult& a,
+                              const sim::EngineResult& b,
+                              const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.io_time_total, b.io_time_total);
+  EXPECT_EQ(a.io_time_max, b.io_time_max);
+  EXPECT_EQ(a.compute_time_total, b.compute_time_total);
+  EXPECT_EQ(a.sync_wait_total, b.sync_wait_total);
+  EXPECT_EQ(a.time_client_cache, b.time_client_cache);
+  EXPECT_EQ(a.time_shared_cache, b.time_shared_cache);
+  EXPECT_EQ(a.time_peer_cache, b.time_peer_cache);
+  EXPECT_EQ(a.time_disk, b.time_disk);
+  EXPECT_EQ(a.time_disk_queue, b.time_disk_queue);
+  EXPECT_EQ(a.time_retry, b.time_retry);
+  EXPECT_EQ(a.time_failover, b.time_failover);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.disk_requests, b.disk_requests);
+  EXPECT_EQ(a.disk_writebacks, b.disk_writebacks);
+  EXPECT_EQ(a.peer_hits, b.peer_hits);
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_EQ(a.transient_errors, b.transient_errors);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retry_timeouts, b.retry_timeouts);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.fault_stall_total, b.fault_stall_total);
+  EXPECT_EQ(a.l1.hits, b.l1.hits);
+  EXPECT_EQ(a.l2.hits, b.l2.hits);
+  EXPECT_EQ(a.l3.hits, b.l3.hits);
+}
+
+TEST(ParallelEquivalence, FaultedReplayIsThreadCountInvariant) {
+  const auto workload = tiny("astro");
+  sim::MachineConfig config;
+  config.clients = 8;
+  config.io_nodes = 4;
+  config.storage_nodes = 2;
+  config.client_cache_bytes = 2 * kMiB;
+  config.io_cache_bytes = 2 * kMiB;
+  config.storage_cache_bytes = 2 * kMiB;
+
+  for (const bool remap : {false, true}) {
+    sim::ResilienceSpec resilience;
+    resilience.schedule = resilience::parse_fault_spec(
+        "fail@1ms:l2.0; transient@0:disk=0.02,net=0.001; seed=2010");
+    resilience.remap.remap_on_failure = remap;
+
+    auto scheme = sim::SchemeSpec::inter();
+    scheme.num_threads = 1;
+    const auto serial =
+        sim::run_experiment(workload, scheme, config, &resilience);
+    EXPECT_GT(serial.engine.transient_errors, 0u);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      scheme.num_threads = threads;
+      const auto parallel =
+          sim::run_experiment(workload, scheme, config, &resilience);
+      expect_identical_engines(
+          serial.engine, parallel.engine,
+          std::string(remap ? "remap" : "no-remap") + " threads=" +
+              std::to_string(threads));
+      EXPECT_EQ(serial.fault_summary, parallel.fault_summary);
+      EXPECT_EQ(serial.remapped, parallel.remapped);
+    }
+  }
 }
 
 }  // namespace

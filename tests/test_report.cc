@@ -40,7 +40,7 @@ TEST(Report, StallBreakdownSumsToIoTime) {
   const auto r = run_experiment(workload, SchemeSpec::original(), config);
   const auto& e = r.engine;
   EXPECT_EQ(e.time_client_cache + e.time_shared_cache + e.time_peer_cache +
-                e.time_disk,
+                e.time_disk + e.time_retry + e.time_failover,
             e.io_time_total);
   EXPECT_LE(e.time_disk_queue, e.time_disk);
 }

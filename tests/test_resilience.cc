@@ -1,0 +1,347 @@
+// Tests for the fault-injection and resilience subsystem: schedule
+// parsing (spec grammar and JSON), the retry policy's capped backoff,
+// the injector's deterministic state machine, degraded-mode replay
+// accounting (retry/failover stall components, timeout budget), and
+// remap-on-failure work redistribution.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.h"
+#include "resilience/fault.h"
+#include "resilience/remap.h"
+#include "resilience/retry.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "support/check.h"
+#include "support/json.h"
+#include "workloads/registry.h"
+
+namespace mlsc::resilience {
+namespace {
+
+sim::MachineConfig tiny_machine() {
+  sim::MachineConfig config;
+  config.clients = 4;
+  config.io_nodes = 2;
+  config.storage_nodes = 1;
+  config.client_cache_bytes = 8 * 64 * kKiB;
+  config.io_cache_bytes = 8 * 64 * kKiB;
+  config.storage_cache_bytes = 8 * 64 * kKiB;
+  return config;
+}
+
+TEST(RetryPolicy, BackoffIsCappedExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff_ns = 100;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ns = 500;
+  EXPECT_EQ(policy.backoff(0), 0u);  // first attempt has no backoff
+  EXPECT_EQ(policy.backoff(1), 100u);
+  EXPECT_EQ(policy.backoff(2), 200u);
+  EXPECT_EQ(policy.backoff(3), 400u);
+  EXPECT_EQ(policy.backoff(4), 500u);  // capped, not 800
+  EXPECT_EQ(policy.backoff(40), 500u);  // stays capped far out
+}
+
+TEST(FaultSpec, ParsesEveryEventKind) {
+  const auto schedule = parse_fault_spec(
+      "transient@0:disk=0.01,net=0.001; fail@5ms:l2.0; "
+      "degrade@8ms:l3:lat=4,cap=2; stall@10ms:2ms; recover@20ms:l2.0; "
+      "seed=42");
+  EXPECT_EQ(schedule.seed, 42u);
+  ASSERT_EQ(schedule.events.size(), 5u);
+  // Events are kept sorted by timestamp.
+  EXPECT_EQ(schedule.events[0].kind, FaultKind::kTransient);
+  EXPECT_DOUBLE_EQ(schedule.events[0].disk_error_rate, 0.01);
+  EXPECT_DOUBLE_EQ(schedule.events[0].net_error_rate, 0.001);
+  EXPECT_EQ(schedule.events[1].kind, FaultKind::kFailStop);
+  EXPECT_EQ(schedule.events[1].at, 5 * kMillisecond);
+  EXPECT_EQ(schedule.events[1].level, 2u);
+  EXPECT_EQ(schedule.events[1].node_index, 0);
+  EXPECT_EQ(schedule.events[2].kind, FaultKind::kDegrade);
+  EXPECT_DOUBLE_EQ(schedule.events[2].latency_factor, 4.0);
+  EXPECT_DOUBLE_EQ(schedule.events[2].capacity_divisor, 2.0);
+  EXPECT_EQ(schedule.events[2].node_index, -1);  // whole level
+  EXPECT_EQ(schedule.events[3].kind, FaultKind::kStall);
+  EXPECT_EQ(schedule.events[3].duration, 2 * kMillisecond);
+  EXPECT_EQ(schedule.events[4].kind, FaultKind::kRecover);
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_spec("explode@5ms:l2.0"), Error);
+  EXPECT_THROW(parse_fault_spec("fail@5ms"), Error);       // no target
+  EXPECT_THROW(parse_fault_spec("fail@5ms:l9.0"), Error);  // bad level
+  EXPECT_THROW(parse_fault_spec("fail@xyz:l2.0"), Error);  // bad time
+  EXPECT_THROW(parse_fault_spec("transient@0:disk=oops"), Error);
+  EXPECT_THROW(parse_fault_spec("seed=notanumber"), Error);
+}
+
+TEST(FaultSpec, RandomGenerationIsSeedDeterministic) {
+  const auto a = parse_fault_spec("rand@7:n=6:horizon=50ms");
+  const auto b = parse_fault_spec("rand@7:n=6:horizon=50ms");
+  const auto c = parse_fault_spec("rand@8:n=6:horizon=50ms");
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultSchedule, ParsesJsonDocument) {
+  const auto doc = parse_json(R"({"seed": 42, "events": [
+      {"at_ms": 5, "kind": "fail-stop", "level": 2, "node": 0},
+      {"at_ms": 0, "kind": "transient", "disk_error_rate": 0.01},
+      {"at_ms": 10, "kind": "stall", "duration_ms": 2}]})");
+  const auto schedule = parse_fault_schedule_json(doc);
+  EXPECT_EQ(schedule.seed, 42u);
+  ASSERT_EQ(schedule.events.size(), 3u);
+  EXPECT_EQ(schedule.events[0].kind, FaultKind::kTransient);
+  EXPECT_EQ(schedule.events[1].kind, FaultKind::kFailStop);
+  EXPECT_EQ(schedule.events[2].duration, 2 * kMillisecond);
+  EXPECT_THROW(parse_fault_schedule_json(parse_json(
+                   R"({"events": [{"at_ms": 1, "kind": "melt"}]})")),
+               Error);
+}
+
+TEST(FaultSchedule, UnrecoveredFailStopsHonorRecovery) {
+  const auto schedule = parse_fault_spec(
+      "fail@1ms:l2.0; fail@2ms:l2.1; recover@5ms:l2.0");
+  const auto open = schedule.unrecovered_fail_stops();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].node_index, 1);
+}
+
+TEST(FaultTargets, ResolveByLevelAndIndex) {
+  const auto tree = tiny_machine().build_tree();
+  FaultEvent event;
+  event.level = 2;  // I/O nodes
+  event.node_index = -1;
+  EXPECT_EQ(resolve_fault_targets(tree, event).size(), 2u);
+  event.node_index = 1;
+  const auto one = resolve_fault_targets(tree, event);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(tree.node(one[0]).kind, topology::NodeKind::kIo);
+  event.node_index = 7;
+  EXPECT_THROW(resolve_fault_targets(tree, event), Error);
+  event.level = 9;
+  EXPECT_THROW(resolve_fault_targets(tree, event), Error);
+}
+
+TEST(FaultInjector, AppliesEventsInTimestampOrder) {
+  const auto tree = tiny_machine().build_tree();
+  auto schedule = parse_fault_spec(
+      "degrade@1ms:l2.0:lat=4,cap=2; transient@2ms:disk=0.5; "
+      "recover@3ms:l2.0");
+  FaultInjector injector(std::move(schedule), RetryPolicy{}, tree);
+  FaultEvent probe;
+  probe.level = 2;
+  probe.node_index = 0;
+  const auto target = resolve_fault_targets(tree, probe)[0];
+
+  injector.advance_to(0, nullptr);
+  EXPECT_EQ(injector.events_applied(), 0u);
+  EXPECT_DOUBLE_EQ(injector.latency_factor(target), 1.0);
+
+  injector.advance_to(1 * kMillisecond, nullptr);
+  EXPECT_EQ(injector.events_applied(), 1u);
+  EXPECT_DOUBLE_EQ(injector.latency_factor(target), 4.0);
+  EXPECT_DOUBLE_EQ(injector.disk_error_rate(), 0.0);
+
+  injector.advance_to(10 * kMillisecond, nullptr);  // applies the rest
+  EXPECT_EQ(injector.events_applied(), 3u);
+  EXPECT_DOUBLE_EQ(injector.latency_factor(target), 1.0);  // recovered
+  EXPECT_DOUBLE_EQ(injector.disk_error_rate(), 0.5);
+}
+
+TEST(FaultInjector, StallChargedOncePerClient) {
+  const auto tree = tiny_machine().build_tree();
+  auto schedule = parse_fault_spec("stall@1ms:2ms");
+  FaultInjector injector(std::move(schedule), RetryPolicy{}, tree);
+  injector.advance_to(1 * kMillisecond, nullptr);
+  EXPECT_EQ(injector.take_pending_stall(0), 2 * kMillisecond);
+  EXPECT_EQ(injector.take_pending_stall(0), 0u);  // already charged
+  EXPECT_EQ(injector.take_pending_stall(3), 2 * kMillisecond);
+}
+
+TEST(FaultInjector, ErrorDrawsAreOrderIndependent) {
+  const auto tree = tiny_machine().build_tree();
+  auto schedule = parse_fault_spec("seed=11");
+  FaultInjector injector(std::move(schedule), RetryPolicy{}, tree);
+  // The draw is a pure function of (client, op, attempt): repeating the
+  // same query gives the same verdict regardless of everything drawn in
+  // between, and the empirical rate tracks the requested one.
+  const bool first = injector.draw_error(1, 2, 3, 0.5);
+  int errors = 0;
+  const int kDraws = 2000;
+  for (int op = 0; op < kDraws; ++op) {
+    errors += injector.draw_error(0, op, 0, 0.3) ? 1 : 0;
+  }
+  EXPECT_EQ(injector.draw_error(1, 2, 3, 0.5), first);
+  EXPECT_NEAR(errors / static_cast<double>(kDraws), 0.3, 0.05);
+  EXPECT_FALSE(injector.draw_error(1, 2, 3, 0.0));
+  EXPECT_TRUE(injector.draw_error(1, 2, 3, 1.0));
+}
+
+sim::ExperimentResult run_faulted(const std::string& spec,
+                                  bool remap = false,
+                                  RetryPolicy retry = RetryPolicy{}) {
+  const auto workload = workloads::make_workload("astro", 1.0 / 16.0);
+  sim::ResilienceSpec resilience;
+  resilience.schedule = parse_fault_spec(spec);
+  resilience.retry = retry;
+  resilience.remap.remap_on_failure = remap;
+  return sim::run_experiment(workload, sim::SchemeSpec::inter(),
+                             tiny_machine(), &resilience);
+}
+
+TEST(DegradedReplay, StallComponentsStillSumToIoTotal) {
+  const auto r = run_faulted("fail@1ms:l2.0; transient@0:disk=0.05; seed=3");
+  const auto& e = r.engine;
+  EXPECT_GT(e.faults_applied, 0u);
+  EXPECT_GT(e.time_failover, 0u);
+  EXPECT_EQ(e.time_client_cache + e.time_shared_cache + e.time_peer_cache +
+                e.time_disk + e.time_retry + e.time_failover,
+            e.io_time_total);
+}
+
+TEST(DegradedReplay, TransientErrorsChargeRetries) {
+  const auto clean = run_faulted("transient@0:disk=0.0; seed=3");
+  const auto flaky = run_faulted("transient@0:disk=0.2; seed=3");
+  EXPECT_EQ(clean.engine.transient_errors, 0u);
+  EXPECT_EQ(clean.engine.time_retry, 0u);
+  EXPECT_GT(flaky.engine.transient_errors, 0u);
+  EXPECT_GT(flaky.engine.retries, 0u);
+  EXPECT_GT(flaky.engine.time_retry, 0u);
+}
+
+TEST(DegradedReplay, TimeoutBudgetCapsPerAccessRetrying) {
+  // With a certain error rate and a tiny timeout, every disk access hits
+  // the budget: the engine charges exactly the timeout per access.
+  RetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.initial_backoff_ns = 40 * kMicrosecond;
+  retry.access_timeout_ns = 100 * kMicrosecond;
+  const auto r = run_faulted("transient@0:disk=1.0; seed=3", false, retry);
+  const auto& e = r.engine;
+  EXPECT_GT(e.retry_timeouts, 0u);
+  EXPECT_EQ(e.time_retry, e.retry_timeouts * retry.access_timeout_ns);
+}
+
+TEST(DegradedReplay, FailStopLosesCacheContents) {
+  // The failed node is skipped and its contents are gone: disk traffic
+  // can only grow, and failover detections are counted and charged.
+  const auto healthy = run_faulted("transient@0:disk=0; seed=1");
+  const auto failed = run_faulted("fail@0:l2.0; seed=1");
+  EXPECT_GT(failed.engine.failovers, 0u);
+  EXPECT_GT(failed.engine.time_failover, 0u);
+  EXPECT_GE(failed.engine.disk_requests, healthy.engine.disk_requests);
+}
+
+TEST(Remap, DecisionTriggersOnFailStopOnly) {
+  RemapPolicy policy;
+  EXPECT_FALSE(
+      decide_remap(policy, parse_fault_spec("degrade@1ms:l2.0:lat=2"))
+          .triggered);
+  const auto decision =
+      decide_remap(policy, parse_fault_spec("fail@3ms:l2.1"));
+  EXPECT_TRUE(decision.triggered);
+  EXPECT_EQ(decision.at, 3 * kMillisecond);
+  EXPECT_NE(decision.reason.find("level 2"), std::string::npos);
+  policy.remap_on_failure = false;
+  EXPECT_FALSE(
+      decide_remap(policy, parse_fault_spec("fail@3ms:l2.1")).triggered);
+}
+
+TEST(Remap, SurvivingTopologyDropsFailedCaches) {
+  const auto tree = tiny_machine().build_tree();
+  const auto schedule =
+      parse_fault_spec("fail@1ms:l2.0; fail@2ms:l2.1; recover@5ms:l2.1");
+  const auto surviving = surviving_topology(tree, schedule);
+  FaultEvent probe;
+  probe.level = 2;
+  probe.node_index = 0;
+  const auto dead = resolve_fault_targets(tree, probe)[0];
+  probe.node_index = 1;
+  const auto alive = resolve_fault_targets(tree, probe)[0];
+  EXPECT_EQ(surviving.node(dead).cache_capacity_bytes, 0u);
+  EXPECT_GT(surviving.node(alive).cache_capacity_bytes, 0u);  // recovered
+  EXPECT_EQ(surviving.num_clients(), tree.num_clients());
+}
+
+TEST(Remap, RedistributesWorkOffAffectedClients) {
+  const auto workload = workloads::make_workload("astro", 1.0 / 16.0);
+  const auto config = tiny_machine();
+  const auto tree = config.build_tree();
+  const core::DataSpace space(workload.program, config.chunk_size_bytes);
+  core::PipelineOptions options;
+  options.mapper = core::MapperKind::kInterProcessor;
+  const auto schedule = parse_fault_spec("fail@1ms:l2.0");
+  const auto surviving = surviving_topology(tree, schedule);
+  const auto mapping = remap_mapping(surviving, schedule, options,
+                                     workload.program, space);
+
+  // Clients under the failed I/O node end up with no work; the others
+  // carry everything, and no iteration is lost.
+  FaultEvent probe;
+  probe.level = 2;
+  probe.node_index = 0;
+  const auto dead = resolve_fault_targets(tree, probe)[0];
+  std::set<std::size_t> affected;
+  for (const topology::NodeId child : tree.node(dead).children) {
+    affected.insert(tree.client_rank(child));
+  }
+  ASSERT_FALSE(affected.empty());
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < mapping.client_work.size(); ++c) {
+    if (affected.count(c) != 0) {
+      EXPECT_TRUE(mapping.client_work[c].empty()) << "client " << c;
+    }
+    total += mapping.client_iterations(c);
+  }
+  EXPECT_EQ(total, workload.program.total_iterations());
+  mapping.validate_partition(workload.program);
+}
+
+TEST(Remap, WholeLevelFailureKeepsMappingUsable) {
+  // Every client affected: redistribution has nowhere to go and must
+  // leave the mapping intact rather than emptying it.
+  const auto workload = workloads::make_workload("astro", 1.0 / 16.0);
+  const auto config = tiny_machine();
+  const auto tree = config.build_tree();
+  const core::DataSpace space(workload.program, config.chunk_size_bytes);
+  core::PipelineOptions options;
+  options.mapper = core::MapperKind::kInterProcessor;
+  const auto schedule = parse_fault_spec("fail@1ms:l2");
+  const auto surviving = surviving_topology(tree, schedule);
+  const auto mapping = remap_mapping(surviving, schedule, options,
+                                     workload.program, space);
+  EXPECT_EQ(mapping.total_iterations(), workload.program.total_iterations());
+}
+
+TEST(Remap, ExperimentReportsRemapOutcome) {
+  const auto no_remap = run_faulted("fail@1ms:l2.0; seed=5", false);
+  const auto remapped = run_faulted("fail@1ms:l2.0; seed=5", true);
+  EXPECT_FALSE(no_remap.remapped);
+  EXPECT_TRUE(remapped.remapped);
+  EXPECT_NE(remapped.remap_reason.find("fail-stop"), std::string::npos);
+  EXPECT_GT(remapped.remap_pause, 0u);
+  EXPECT_GT(remapped.engine.fault_stall_total, 0u);
+  // The remap steers work off the degraded path, so failover detections
+  // must drop.
+  EXPECT_LT(remapped.engine.failovers, no_remap.engine.failovers);
+}
+
+TEST(Resilience, HealthyRunsAreUntouchedByNullInjector) {
+  const auto workload = workloads::make_workload("astro", 1.0 / 16.0);
+  const auto with_null = sim::run_experiment(
+      workload, sim::SchemeSpec::inter(), tiny_machine(), nullptr);
+  sim::ResilienceSpec empty;
+  const auto with_empty = sim::run_experiment(
+      workload, sim::SchemeSpec::inter(), tiny_machine(), &empty);
+  EXPECT_EQ(with_null.exec_time, with_empty.exec_time);
+  EXPECT_EQ(with_null.engine.io_time_total, with_empty.engine.io_time_total);
+  EXPECT_EQ(with_empty.engine.faults_applied, 0u);
+  EXPECT_EQ(with_empty.fault_summary, "");
+}
+
+}  // namespace
+}  // namespace mlsc::resilience

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "support/argparse.h"
 #include "support/check.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -166,6 +169,69 @@ TEST(Rng, DifferentSeedsDiffer) {
   Rng a(1);
   Rng b(2);
   EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ArgParser drives every mlsc_* tool's CLI; misuse must throw UsageError
+// (mapped to kUsageExitCode by the tools), never crash or mis-parse.
+ArgParser make_parser(std::vector<std::string>& storage,
+                      std::vector<char*>& argv) {
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, AcceptsBothValueForms) {
+  std::vector<std::string> args{"tool", "--size=16", "--reps", "3", "--csv"};
+  std::vector<char*> argv;
+  auto parser = make_parser(args, argv);
+  ASSERT_TRUE(parser.next());
+  ASSERT_TRUE(parser.value_flag("--size"));
+  EXPECT_EQ(parser.value_u64(), 16u);
+  ASSERT_TRUE(parser.next());
+  ASSERT_TRUE(parser.value_flag("--reps"));
+  EXPECT_EQ(parser.value_u64(), 3u);
+  ASSERT_TRUE(parser.next());
+  EXPECT_TRUE(parser.flag("--csv"));
+  EXPECT_FALSE(parser.next());
+}
+
+TEST(ArgParser, ThrowsUsageErrorOnMisuse) {
+  {
+    std::vector<std::string> args{"tool", "--size"};
+    std::vector<char*> argv;
+    auto parser = make_parser(args, argv);
+    ASSERT_TRUE(parser.next());
+    EXPECT_THROW(parser.value_flag("--size"), UsageError);  // missing value
+  }
+  {
+    std::vector<std::string> args{"tool", "--size=16x", "--rate=fast"};
+    std::vector<char*> argv;
+    auto parser = make_parser(args, argv);
+    ASSERT_TRUE(parser.next());
+    ASSERT_TRUE(parser.value_flag("--size"));
+    EXPECT_THROW(parser.value_u64(), UsageError);  // trailing garbage
+    ASSERT_TRUE(parser.next());
+    ASSERT_TRUE(parser.value_flag("--rate"));
+    EXPECT_THROW(parser.value_double(), UsageError);
+  }
+  {
+    std::vector<std::string> args{"tool", "--bogus"};
+    std::vector<char*> argv;
+    auto parser = make_parser(args, argv);
+    ASSERT_TRUE(parser.next());
+    EXPECT_THROW(parser.unknown(), UsageError);
+  }
+}
+
+TEST(ArgParser, ValueFlagDistinguishesPrefixes) {
+  // "--size" must not swallow "--size-factor=2".
+  std::vector<std::string> args{"tool", "--size-factor=2"};
+  std::vector<char*> argv;
+  auto parser = make_parser(args, argv);
+  ASSERT_TRUE(parser.next());
+  EXPECT_FALSE(parser.value_flag("--size"));
+  ASSERT_TRUE(parser.value_flag("--size-factor"));
+  EXPECT_DOUBLE_EQ(parser.value_double(), 2.0);
 }
 
 }  // namespace

@@ -10,11 +10,11 @@
 // regression(s), 3 usage or parse error.
 #include <unistd.h>
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "obs/bench_diff.h"
+#include "support/argparse.h"
 #include "support/check.h"
 #include "support/json.h"
 #include "support/table.h"
@@ -23,8 +23,8 @@ namespace {
 
 using namespace mlsc;
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr
+void print_usage(std::ostream& out, const char* argv0) {
+  out
       << "usage: " << argv0 << " <baseline.json> <current.json> [options]\n"
       << "  --det-threshold=F   relative tolerance for deterministic "
          "metrics (default 0.001)\n"
@@ -40,15 +40,6 @@ using namespace mlsc;
       << "  --color/--no-color  force ANSI colors on/off (default: on "
          "when stdout is a tty)\n"
       << "exit: 0 clean, 1 soft regression, 2 hard regression, 3 error\n";
-  std::exit(3);
-}
-
-double parse_double(const char* argv0, const std::string& value) {
-  try {
-    return std::stod(value);
-  } catch (const std::exception&) {
-    usage(argv0);
-  }
 }
 
 }  // namespace
@@ -61,41 +52,50 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool color = isatty(STDOUT_FILENO) != 0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--det-threshold=", 0) == 0) {
-      options.det_threshold =
-          parse_double(argv[0], arg.substr(std::strlen("--det-threshold=")));
-    } else if (arg.rfind("--time-threshold=", 0) == 0) {
-      options.time_threshold = parse_double(
-          argv[0], arg.substr(std::strlen("--time-threshold=")));
-    } else if (arg.rfind("--hard-factor=", 0) == 0) {
-      options.hard_factor =
-          parse_double(argv[0], arg.substr(std::strlen("--hard-factor=")));
-    } else if (arg == "--all") {
-      all = true;
-    } else if (arg == "--csv") {
-      csv = true;
-    } else if (arg == "--color") {
-      color = true;
-    } else if (arg == "--no-color") {
-      color = false;
-    } else if (arg.rfind("--", 0) == 0) {
-      usage(argv[0]);
-    } else if (baseline_path.empty()) {
-      baseline_path = arg;
-    } else if (current_path.empty()) {
-      current_path = arg;
-    } else {
-      usage(argv[0]);
+  JsonValue baseline;
+  JsonValue current;
+  try {
+    ArgParser args(argc, argv);
+    while (args.next()) {
+      if (args.value_flag("--det-threshold")) {
+        options.det_threshold = args.value_double();
+      } else if (args.value_flag("--time-threshold")) {
+        options.time_threshold = args.value_double();
+      } else if (args.value_flag("--hard-factor")) {
+        options.hard_factor = args.value_double();
+      } else if (args.flag("--all")) {
+        all = true;
+      } else if (args.flag("--csv")) {
+        csv = true;
+      } else if (args.flag("--color")) {
+        color = true;
+      } else if (args.flag("--no-color")) {
+        color = false;
+      } else if (args.arg().rfind("--", 0) == 0) {
+        args.unknown();
+      } else if (baseline_path.empty()) {
+        baseline_path = args.arg();
+      } else if (current_path.empty()) {
+        current_path = args.arg();
+      } else {
+        throw UsageError("unexpected extra argument '" + args.arg() + "'");
+      }
     }
+    if (baseline_path.empty() || current_path.empty()) {
+      throw UsageError("two run record paths are required");
+    }
+    // The inputs are user-supplied JSON; unreadable or malformed files
+    // are usage errors (exit 3), never crashes.
+    baseline = parse_json_file(baseline_path);
+    current = parse_json_file(current_path);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_usage(std::cerr, argv[0]);
+    return kUsageExitCode;
   }
-  if (baseline_path.empty() || current_path.empty()) usage(argv[0]);
   if (csv) color = false;
 
   try {
-    const JsonValue baseline = parse_json_file(baseline_path);
-    const JsonValue current = parse_json_file(current_path);
     const obs::DiffResult result =
         obs::diff_run_records(baseline, current, options);
 

@@ -12,11 +12,13 @@
 //            [--balance FRACTION] [--alpha A] [--beta B]
 //            [--write-back] [--cooperative] [--readahead N]
 //            [--size-factor F] [--threads N]
+//            [--faults FILE|SPEC] [--remap]
 //            [--trace PATH] [--metrics PATH] [--json PATH]
 //            [--log-level debug|info|warn|error|off]
 //            [--report stats|mapping|codegen|csv]
+//
+// Exit status: 0 success, 1 runtime failure, 3 command-line misuse.
 #include <chrono>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -27,6 +29,7 @@
 #include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
+#include "support/argparse.h"
 #include "support/log.h"
 #include "support/string_util.h"
 #include "support/table.h"
@@ -41,8 +44,8 @@ namespace {
 
 using namespace mlsc;
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr
+void print_usage(std::ostream& out, const char* argv0) {
+  out
       << "usage: " << argv0 << " [options]\n"
       << "  --workload NAME     one of: " << join(workloads::workload_names(), ", ")
       << ", irregular (default hf)\n"
@@ -59,6 +62,14 @@ using namespace mlsc;
       << "  --size-factor F     workload data scale (default 1.0)\n"
       << "  --threads N         mapping-stage threads; 0 = all cores "
          "(default 1, result is identical for any value)\n"
+      << "  --faults ARG        fault schedule: a JSON file or a spec "
+         "string, e.g.\n"
+      << "                      'fail@5ms:l2.0;transient@0:disk=0.01;"
+         "seed=42'\n"
+      << "  --remap             remap-on-failure: recompute the mapping "
+         "over the\n"
+      << "                      surviving topology when the schedule "
+         "fail-stops a node\n"
       << "  --trace PATH        write a Chrome trace_event JSON timeline\n"
       << "  --metrics PATH      write the metrics registry as JSON\n"
       << "  --json PATH         write a run record (tables, phases, "
@@ -67,7 +78,6 @@ using namespace mlsc;
          "mlsc_report\n"
       << "  --log-level L       debug|info|warn|error|off (default warn)\n"
       << "  --report KIND       stats|full|compare|mapping|codegen|csv (default stats)\n";
-  std::exit(2);
 }
 
 }  // namespace
@@ -84,50 +94,44 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string json_path;
+  std::string faults_arg;
+  bool remap = false;
+  sim::ResilienceSpec rspec;
+  bool have_faults = false;
 
-  auto next_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0]);
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    try {
-      if (arg.rfind("--trace=", 0) == 0) {
-        trace_path = arg.substr(std::strlen("--trace="));
-      } else if (arg == "--trace") {
-        trace_path = next_value(i);
-      } else if (arg.rfind("--metrics=", 0) == 0) {
-        metrics_path = arg.substr(std::strlen("--metrics="));
-      } else if (arg == "--metrics") {
-        metrics_path = next_value(i);
-      } else if (arg.rfind("--json=", 0) == 0) {
-        json_path = arg.substr(std::strlen("--json="));
-      } else if (arg == "--json") {
-        json_path = next_value(i);
-      } else if (arg.rfind("--log-level=", 0) == 0 || arg == "--log-level") {
-        const std::string name = arg == "--log-level"
-                                     ? next_value(i)
-                                     : arg.substr(std::strlen("--log-level="));
+  try {
+    ArgParser args(argc, argv);
+    while (args.next()) {
+      if (args.value_flag("--trace")) {
+        trace_path = args.value();
+      } else if (args.value_flag("--metrics")) {
+        metrics_path = args.value();
+      } else if (args.value_flag("--json")) {
+        json_path = args.value();
+      } else if (args.value_flag("--log-level")) {
         LogLevel level;
-        if (!parse_log_level(name, &level)) usage(argv[0]);
+        if (!parse_log_level(args.value(), &level)) {
+          throw UsageError("--log-level: unknown level '" + args.value() +
+                           "'");
+        }
         set_log_level(level);
-      } else if (arg == "--workload") {
-        workload_name = next_value(i);
-      } else if (arg == "--scheme") {
-        scheme_name = next_value(i);
-      } else if (arg == "--clients") {
-        machine.clients = std::stoul(next_value(i));
-      } else if (arg == "--io") {
-        machine.io_nodes = std::stoul(next_value(i));
-      } else if (arg == "--storage") {
-        machine.storage_nodes = std::stoul(next_value(i));
-      } else if (arg == "--chunk") {
-        machine.chunk_size_bytes = std::stoull(next_value(i));
+      } else if (args.value_flag("--workload")) {
+        workload_name = args.value();
+      } else if (args.value_flag("--scheme")) {
+        scheme_name = args.value();
+      } else if (args.value_flag("--clients")) {
+        machine.clients = args.value_u64();
+      } else if (args.value_flag("--io")) {
+        machine.io_nodes = args.value_u64();
+      } else if (args.value_flag("--storage")) {
+        machine.storage_nodes = args.value_u64();
+      } else if (args.value_flag("--chunk")) {
+        machine.chunk_size_bytes = args.value_u64();
         machine.stripe_size_bytes = machine.chunk_size_bytes;
-      } else if (arg == "--policy") {
-        machine.policy = cache::parse_policy_kind(next_value(i));
-      } else if (arg == "--placement") {
-        const std::string mode = next_value(i);
+      } else if (args.value_flag("--policy")) {
+        machine.policy = cache::parse_policy_kind(args.value());
+      } else if (args.value_flag("--placement")) {
+        const std::string mode = args.value();
         if (mode == "access") {
           machine.placement = cache::PlacementMode::kAccessBased;
         } else if (mode == "eviction") {
@@ -135,47 +139,68 @@ int main(int argc, char** argv) {
         } else if (mode == "exclusive") {
           machine.placement = cache::PlacementMode::kExclusive;
         } else {
-          usage(argv[0]);
+          throw UsageError("--placement: unknown mode '" + mode + "'");
         }
-      } else if (arg == "--balance") {
-        scheme.balance_threshold = std::stod(next_value(i));
-      } else if (arg == "--alpha") {
-        alpha = std::stod(next_value(i));
-      } else if (arg == "--beta") {
-        beta = std::stod(next_value(i));
-      } else if (arg == "--write-back") {
+      } else if (args.value_flag("--balance")) {
+        scheme.balance_threshold = args.value_double();
+      } else if (args.value_flag("--alpha")) {
+        alpha = args.value_double();
+      } else if (args.value_flag("--beta")) {
+        beta = args.value_double();
+      } else if (args.flag("--write-back")) {
         machine.write_back = true;
-      } else if (arg == "--cooperative") {
+      } else if (args.flag("--cooperative")) {
         machine.cooperative_caching = true;
-      } else if (arg == "--readahead") {
+      } else if (args.value_flag("--readahead")) {
         machine.readahead_chunks =
-            static_cast<std::uint32_t>(std::stoul(next_value(i)));
-      } else if (arg == "--size-factor") {
-        size_factor = std::stod(next_value(i));
-      } else if (arg == "--threads") {
-        scheme.num_threads = std::stoul(next_value(i));
-      } else if (arg == "--report") {
-        report = next_value(i);
+            static_cast<std::uint32_t>(args.value_u64());
+      } else if (args.value_flag("--size-factor")) {
+        size_factor = args.value_double();
+      } else if (args.value_flag("--threads")) {
+        scheme.num_threads = args.value_u64();
+      } else if (args.value_flag("--faults")) {
+        faults_arg = args.value();
+      } else if (args.flag("--remap")) {
+        remap = true;
+      } else if (args.value_flag("--report")) {
+        report = args.value();
       } else {
-        usage(argv[0]);
+        args.unknown();
       }
-    } catch (const std::exception&) {
-      usage(argv[0]);
     }
-  }
 
-  if (scheme_name == "original") {
-    scheme.mapper = core::MapperKind::kOriginal;
-  } else if (scheme_name == "intra") {
-    scheme.mapper = core::MapperKind::kIntraProcessor;
-  } else if (scheme_name == "inter") {
-    scheme.mapper = core::MapperKind::kInterProcessor;
-  } else if (scheme_name == "sched") {
-    scheme.mapper = core::MapperKind::kInterProcessor;
-    scheme.schedule = true;
-    scheme.scheduler = {alpha, beta};
-  } else {
-    usage(argv[0]);
+    if (scheme_name == "original") {
+      scheme.mapper = core::MapperKind::kOriginal;
+    } else if (scheme_name == "intra") {
+      scheme.mapper = core::MapperKind::kIntraProcessor;
+    } else if (scheme_name == "inter") {
+      scheme.mapper = core::MapperKind::kInterProcessor;
+    } else if (scheme_name == "sched") {
+      scheme.mapper = core::MapperKind::kInterProcessor;
+      scheme.schedule = true;
+      scheme.scheduler = {alpha, beta};
+    } else {
+      throw UsageError("--scheme: unknown scheme '" + scheme_name + "'");
+    }
+
+    if (report != "stats" && report != "full" && report != "compare" &&
+        report != "mapping" && report != "codegen" && report != "csv") {
+      throw UsageError("--report: unknown kind '" + report + "'");
+    }
+
+    if (!faults_arg.empty()) {
+      rspec.schedule = resilience::load_fault_schedule(faults_arg);
+      rspec.remap.remap_on_failure = remap;
+      have_faults = true;
+    } else if (remap) {
+      throw UsageError("--remap requires --faults");
+    }
+  } catch (const Error& e) {
+    // Anything thrown while digesting the command line — unknown flags,
+    // malformed values, unparseable fault schedules — is CLI misuse.
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_usage(std::cerr, argv[0]);
+    return kUsageExitCode;
   }
 
   if (!trace_path.empty()) obs::start_trace(trace_path);
@@ -251,7 +276,8 @@ int main(int argc, char** argv) {
     if (report == "full") {
       const auto r = [&] {
         obs::ScopedPhase phase(record, "experiment");
-        return sim::run_experiment(workload, scheme, machine);
+        return sim::run_experiment(workload, scheme, machine,
+                                   have_faults ? &rspec : nullptr);
       }();
       record.tables = sim::report_tables(r);
       write_record();
@@ -271,7 +297,8 @@ int main(int argc, char** argv) {
     }
     const auto r = [&] {
       obs::ScopedPhase phase(record, "experiment");
-      return sim::run_experiment(workload, scheme, machine);
+      return sim::run_experiment(workload, scheme, machine,
+                                 have_faults ? &rspec : nullptr);
     }();
     record.tables = sim::report_tables(r);
     write_record();
@@ -285,16 +312,28 @@ int main(int argc, char** argv) {
                      std::to_string(r.io_latency),
                      std::to_string(r.exec_time)});
       table.print_csv(std::cout);
-    } else if (report == "stats") {
+    } else {
       std::cout << "machine: " << machine.to_string() << "\n";
+      if (!r.fault_summary.empty()) {
+        std::cout << "faults: " << r.fault_summary << "\n";
+        if (r.remapped) {
+          std::cout << "remap: " << r.remap_reason << " (pause "
+                    << format_time(r.remap_pause) << ")\n";
+        }
+      }
       r.report(std::cout);
       std::cout << "disk requests: " << r.engine.disk_requests
                 << ", write-backs: " << r.engine.disk_writebacks
                 << ", peer hits: " << r.engine.peer_hits
                 << ", prefetches: " << r.engine.prefetches
                 << ", sync edges: " << r.sync_edges << "\n";
-    } else {
-      usage(argv[0]);
+      if (r.engine.faults_applied > 0) {
+        std::cout << "faults applied: " << r.engine.faults_applied
+                  << ", transient errors: " << r.engine.transient_errors
+                  << ", retries: " << r.engine.retries
+                  << ", retry timeouts: " << r.engine.retry_timeouts
+                  << ", failovers: " << r.engine.failovers << "\n";
+      }
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -10,22 +10,24 @@
 //
 // Default output path is the record path with a ".html" suffix; "-"
 // writes to stdout.
-#include <cstring>
+//
+// Exit status: 0 success, 1 cannot write the output, 3 command-line
+// misuse or unreadable/malformed inputs.
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "obs/report_html.h"
+#include "support/argparse.h"
 #include "support/check.h"
 #include "support/json.h"
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " <run_record.json> [--trace=<trace.json>] "
-               "[--out=<report.html>]\n";
-  std::exit(2);
+void print_usage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " <run_record.json> [--trace=<trace.json>] "
+         "[--out=<report.html>]\n";
 }
 
 }  // namespace
@@ -36,29 +38,41 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string out_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(std::strlen("--trace="));
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(std::strlen("--out="));
-    } else if (arg.rfind("--", 0) == 0) {
-      usage(argv[0]);
-    } else if (record_path.empty()) {
-      record_path = arg;
-    } else {
-      usage(argv[0]);
+  JsonValue record;
+  JsonValue trace;
+  bool have_trace = false;
+  try {
+    ArgParser args(argc, argv);
+    while (args.next()) {
+      if (args.value_flag("--trace")) {
+        trace_path = args.value();
+      } else if (args.value_flag("--out")) {
+        out_path = args.value();
+      } else if (args.arg().rfind("--", 0) == 0) {
+        args.unknown();
+      } else if (record_path.empty()) {
+        record_path = args.arg();
+      } else {
+        throw UsageError("unexpected extra argument '" + args.arg() + "'");
+      }
     }
+    if (record_path.empty()) {
+      throw UsageError("missing run record path");
+    }
+
+    // Inputs are user-supplied; unreadable or malformed files are usage
+    // errors, not crashes.
+    record = parse_json_file(record_path);
+    have_trace = !trace_path.empty();
+    if (have_trace) trace = parse_json_file(trace_path);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_usage(std::cerr, argv[0]);
+    return kUsageExitCode;
   }
-  if (record_path.empty()) usage(argv[0]);
   if (out_path.empty()) out_path = record_path + ".html";
 
   try {
-    const JsonValue record = parse_json_file(record_path);
-    JsonValue trace;
-    const bool have_trace = !trace_path.empty();
-    if (have_trace) trace = parse_json_file(trace_path);
-
     const std::string html =
         obs::render_html_report(record, have_trace ? &trace : nullptr);
     if (out_path == "-") {
