@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
   if (!has_json) args.push_back(default_json);
   bench::parse_common_flags(static_cast<int>(args.size()), args.data());
   bench::set_record_seed(2010);
+  bench::set_record_apps({"synthetic-windowed"});
   const std::size_t reps = bench::repetitions();
 
   const std::vector<std::size_t> chunk_counts = {1024, 4096, 8192};

@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include <sys/utsname.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -62,6 +64,15 @@ void parse_common_flags(int argc, char** argv) {
   }
   state.record.build_type = MLSC_BUILD_TYPE;
   state.record.hardware_threads = std::thread::hardware_concurrency();
+  // Default machine description from uname; benches that print a header
+  // overwrite it with the simulated machine config.  This keeps records
+  // from headerless benches (bench_scaling, bench_similarity) from
+  // carrying an empty "machine" field.
+  struct utsname uts{};
+  if (uname(&uts) == 0) {
+    state.record.machine = std::string(uts.sysname) + " " + uts.release +
+                           " " + uts.machine;
+  }
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,6 +135,10 @@ void set_record_seed(std::uint64_t seed) {
   JsonState& state = json_state();
   state.record.seed = seed;
   state.record.has_seed = true;
+}
+
+void set_record_apps(const std::vector<std::string>& apps) {
+  json_state().record.apps = apps;
 }
 
 void record_phase(const std::string& name, double wall_ms) {

@@ -56,6 +56,12 @@ std::size_t repetitions();
 /// Stamps the pinned RNG seed into the run record metadata.
 void set_record_seed(std::uint64_t seed);
 
+/// Stamps the workload/app names into the run record metadata.  Benches
+/// that use bench_apps() get this automatically; synthetic-input benches
+/// (bench_scaling, bench_similarity) call it with their generator names
+/// so the record's "apps" field is never empty.
+void set_record_apps(const std::vector<std::string>& apps);
+
 /// Appends a named wall-clock phase to the run record (no-op without
 /// --json).  run() records one phase per experiment automatically.
 void record_phase(const std::string& name, double wall_ms);

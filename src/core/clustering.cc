@@ -1,6 +1,7 @@
 #include "core/clustering.h"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
 #include <unordered_map>
 
@@ -293,6 +294,349 @@ void merge_to_count(std::vector<Cluster>& clusters, std::size_t target,
   clusters = std::move(survivors);
 }
 
+// ---------------------------------------------------------------------------
+// Affinity-forest kernel (DESIGN.md §15): the scalable replacement for
+// the greedy merge heap.  Candidate edges between clusters come from the
+// data-chunk inverted index (only pairs sharing a data chunk can have a
+// nonzero dot product); a Borůvka-style maximum-spanning-forest build
+// hooks every component to its best-scoring neighbor per round; the
+// forest is then cut to `target` components by replaying its edges in
+// score order (single-linkage semantics).  Components the forest leaves
+// disconnected fall back to the same rank-adjacent smallest-pair merge
+// the greedy kernel uses for zero-sharing inputs.
+
+/// One scored candidate edge, u < v (original cluster ids).  (score, u,
+/// v) is a strict total order over distinct edges — the tie-break makes
+/// every parallel max-reduction deterministic.
+struct ForestEdge {
+  double score = 0;
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+};
+
+bool edge_better(const ForestEdge& x, const ForestEdge& y) {
+  if (x.score != y.score) return x.score > y.score;
+  if (x.u != y.u) return x.u < y.u;
+  return x.v < y.v;
+}
+
+/// Union-find with path compression; unions attach the larger root under
+/// the smaller, so a component's root is always its smallest member id.
+std::uint32_t uf_find(std::vector<std::uint32_t>& parent, std::uint32_t x) {
+  std::uint32_t root = x;
+  while (parent[root] != root) root = parent[root];
+  while (parent[x] != root) {
+    const std::uint32_t next = parent[x];
+    parent[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool uf_union(std::vector<std::uint32_t>& parent, std::uint32_t a,
+              std::uint32_t b) {
+  const std::uint32_t ra = uf_find(parent, a);
+  const std::uint32_t rb = uf_find(parent, b);
+  if (ra == rb) return false;
+  parent[std::max(ra, rb)] = std::min(ra, rb);
+  return true;
+}
+
+/// Scores every cluster pair that shares at least one data chunk, via
+/// the inverted index, in parallel over `pool`.  Edges come out grouped
+/// by the larger endpoint ascending — a deterministic order.
+std::vector<ForestEdge> forest_candidate_edges(
+    const std::vector<Cluster>& clusters, ThreadPool* pool,
+    const ClusterOptions& options) {
+  const std::size_t n = clusters.size();
+  obs::Span span("pipeline.candidate_gen");
+  span.arg("clusters", static_cast<std::uint64_t>(n));
+
+  struct IndexEntry {
+    std::uint32_t cluster;
+    std::uint32_t count;
+  };
+  std::unordered_map<std::uint32_t, std::vector<IndexEntry>> bit_index;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (const auto& entry : clusters[a].tag.entries()) {
+      bit_index[entry.pos].push_back(IndexEntry{a, entry.count});
+    }
+  }
+  std::uint64_t hot_skipped = 0;
+  if (options.hot_posting_cap > 0) {
+    for (auto& [pos, list] : bit_index) {
+      if (list.size() > options.hot_posting_cap) {
+        list.clear();
+        ++hot_skipped;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> band_keys;
+  const MinhashParams& banding = options.banding;
+  if (banding.enabled()) {
+    band_keys.resize(n * banding.bands);
+    std::vector<std::uint32_t> positions;
+    for (std::size_t a = 0; a < n; ++a) {
+      positions.clear();
+      for (const auto& entry : clusters[a].tag.entries()) {
+        positions.push_back(entry.pos);
+      }
+      minhash_band_keys(positions, banding, band_keys.data() + a * banding.bands);
+    }
+  }
+
+  // Per-a slots keep the parallel fill deterministic; entries in every
+  // posting list are id-ascending, so scoring a against b < a stops at
+  // the first entry >= a.
+  std::vector<std::vector<ForestEdge>> per_row(n);
+  std::atomic<std::uint64_t> pruned{0};
+  auto score_rows = [&](std::size_t lo, std::size_t hi) {
+    thread_local std::vector<std::uint64_t> acc;
+    thread_local std::vector<std::uint32_t> touched;
+    if (acc.size() < n) acc.resize(n, 0);
+    std::uint64_t local_pruned = 0;
+    for (std::size_t a = lo; a < hi; ++a) {
+      touched.clear();
+      for (const auto& tag_entry : clusters[a].tag.entries()) {
+        const auto it = bit_index.find(tag_entry.pos);
+        if (it == bit_index.end()) continue;
+        const std::uint64_t ca = tag_entry.count;
+        for (const IndexEntry& e : it->second) {
+          if (e.cluster >= a) break;
+          if (acc[e.cluster] == 0) touched.push_back(e.cluster);
+          acc[e.cluster] += ca * e.count;
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& out = per_row[a];
+      out.reserve(touched.size());
+      for (const std::uint32_t b : touched) {
+        const std::uint64_t dot = acc[b];
+        acc[b] = 0;  // keep the scratch all-zero between rows
+        if (banding.enabled() &&
+            !minhash_shares_band(band_keys.data() + b * banding.bands,
+                                 band_keys.data() + a * banding.bands,
+                                 banding)) {
+          ++local_pruned;
+          continue;
+        }
+        const double denom = static_cast<double>(clusters[a].members.size()) *
+                             static_cast<double>(clusters[b].members.size());
+        out.push_back(ForestEdge{static_cast<double>(dot) / denom, b,
+                                 static_cast<std::uint32_t>(a)});
+      }
+    }
+    pruned.fetch_add(local_pruned, std::memory_order_relaxed);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && n >= 256) {
+    pool->parallel_for(0, n, pool->default_grain(n), score_rows);
+  } else {
+    score_rows(0, n);
+  }
+
+  std::size_t total = 0;
+  for (const auto& row : per_row) total += row.size();
+  std::vector<ForestEdge> edges;
+  edges.reserve(total);
+  for (auto& row : per_row) {
+    edges.insert(edges.end(), row.begin(), row.end());
+    row.clear();
+    row.shrink_to_fit();
+  }
+  span.arg("candidate_pairs", static_cast<std::uint64_t>(edges.size()));
+  span.arg("pairs_pruned", pruned.load());
+  span.end();
+  MLSC_COUNTER_ADD("graph.candidate_pairs", edges.size());
+  MLSC_COUNTER_ADD("graph.pairs_pruned", pruned.load());
+  MLSC_COUNTER_ADD("graph.hot_postings_skipped", hot_skipped);
+  return edges;
+}
+
+void forest_to_count(std::vector<Cluster>& clusters, std::size_t target,
+                     ThreadPool* pool, const ClusterOptions& options) {
+  const std::size_t n = clusters.size();
+  obs::Span span("pipeline.affinity_forest");
+  span.arg("clusters", static_cast<std::uint64_t>(n));
+  span.arg("target", static_cast<std::uint64_t>(target));
+
+  std::vector<ForestEdge> work = forest_candidate_edges(clusters, pool, options);
+
+  // Borůvka rounds: every component picks its best incident edge (a
+  // parallel max-reduction over the strict total order, so the pick is
+  // independent of edge visit order), the picks are hooked through the
+  // union-find in ascending component order, and intra-component edges
+  // are compacted away.  Components at least halve per round.
+  std::vector<std::uint32_t> parent(n);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  std::vector<std::uint32_t> comp(n);
+  std::vector<ForestEdge> forest;
+  forest.reserve(n > 0 ? n - 1 : 0);
+  std::vector<std::atomic<std::uint32_t>> best(n);
+  constexpr std::uint32_t kNone = UINT32_MAX;
+  std::size_t rounds = 0;
+
+  while (!work.empty()) {
+    ++rounds;
+    for (std::uint32_t i = 0; i < n; ++i) comp[i] = uf_find(parent, i);
+    for (auto& b : best) b.store(kNone, std::memory_order_relaxed);
+
+    auto consider = [&](std::uint32_t c, std::uint32_t idx) {
+      std::uint32_t cur = best[c].load(std::memory_order_relaxed);
+      while (cur == kNone || edge_better(work[idx], work[cur])) {
+        if (best[c].compare_exchange_weak(cur, idx,
+                                          std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    };
+    auto pick_best = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t e = lo; e < hi; ++e) {
+        const std::uint32_t cu = comp[work[e].u];
+        const std::uint32_t cv = comp[work[e].v];
+        consider(cu, static_cast<std::uint32_t>(e));
+        consider(cv, static_cast<std::uint32_t>(e));
+      }
+    };
+    if (pool != nullptr && pool->num_threads() > 1 && work.size() >= 4096) {
+      pool->parallel_for(0, work.size(), pool->default_grain(work.size()),
+                         pick_best);
+    } else {
+      pick_best(0, work.size());
+    }
+
+    bool hooked = false;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const std::uint32_t idx = best[c].load(std::memory_order_relaxed);
+      if (idx == kNone) continue;
+      const ForestEdge& e = work[idx];
+      if (uf_union(parent, e.u, e.v)) {
+        forest.push_back(e);
+        hooked = true;
+      }
+    }
+    if (!hooked) break;  // every remaining edge is intra-component
+
+    for (std::uint32_t i = 0; i < n; ++i) comp[i] = uf_find(parent, i);
+    work.erase(std::remove_if(work.begin(), work.end(),
+                              [&](const ForestEdge& e) {
+                                return comp[e.u] == comp[e.v];
+                              }),
+               work.end());
+  }
+
+  // Cut the forest to `target` components: replay its edges best-first.
+  // The forest is acyclic, so every replayed edge merges two distinct
+  // components.  The cut is balance-aware (cut_balance_slack): merges
+  // that would grow a component past (1 + slack) x the ideal share are
+  // skipped — single-linkage chains would otherwise concentrate nearly
+  // everything into one component and leave the downstream load
+  // balancer a quadratic pile of one-member moves.  Skipping keeps the
+  // union acyclic, so every replayed edge still joins distinct roots.
+  std::sort(forest.begin(), forest.end(), edge_better);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  std::uint64_t total_iterations = 0;
+  std::vector<std::uint64_t> comp_iterations(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    comp_iterations[i] = clusters[i].iterations;
+    total_iterations += clusters[i].iterations;
+  }
+  const bool capped = options.cut_balance_slack >= 0.0;
+  const auto cap = static_cast<std::uint64_t>(
+      static_cast<double>(total_iterations) /
+      static_cast<double>(target) * (1.0 + options.cut_balance_slack));
+  std::size_t components = n;
+  std::uint64_t cut_skipped = 0;
+  for (const ForestEdge& e : forest) {
+    if (components <= target) break;
+    const std::uint32_t ru = uf_find(parent, e.u);
+    const std::uint32_t rv = uf_find(parent, e.v);
+    MLSC_CHECK(ru != rv, "forest edge formed a cycle");
+    if (capped && comp_iterations[ru] + comp_iterations[rv] > cap) {
+      ++cut_skipped;
+      continue;
+    }
+    const std::uint64_t merged_iters =
+        comp_iterations[ru] + comp_iterations[rv];
+    uf_union(parent, ru, rv);
+    comp_iterations[std::min(ru, rv)] = merged_iters;
+    --components;
+  }
+  span.arg("rounds", static_cast<std::uint64_t>(rounds));
+  span.arg("forest_edges", static_cast<std::uint64_t>(forest.size()));
+  span.arg("cut_skipped", cut_skipped);
+
+  // Leftovers — components the cap stopped or that share no data: merge
+  // rank-adjacent (by order_key), smallest combined size first, the same
+  // fallback the greedy kernel uses.  Smallest-first evens the sizes, so
+  // the load balancer has little left to fix.
+  if (components > target) {
+    struct Comp {
+      std::uint32_t root;
+      std::uint64_t order_key;
+      std::uint64_t iterations;
+    };
+    std::unordered_map<std::uint32_t, std::size_t> slot;
+    std::vector<Comp> comps;
+    comps.reserve(components);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t root = uf_find(parent, i);
+      const auto it = slot.find(root);
+      if (it == slot.end()) {
+        slot.emplace(root, comps.size());
+        comps.push_back(Comp{root, clusters[i].order_key,
+                             clusters[i].iterations});
+      } else {
+        Comp& c = comps[it->second];
+        c.order_key = std::min(c.order_key, clusters[i].order_key);
+        c.iterations += clusters[i].iterations;
+      }
+    }
+    std::sort(comps.begin(), comps.end(), [](const Comp& x, const Comp& y) {
+      if (x.order_key != y.order_key) return x.order_key < y.order_key;
+      return x.root < y.root;
+    });
+    while (comps.size() > target) {
+      std::size_t pos = 0;
+      std::uint64_t best_size = UINT64_MAX;
+      for (std::size_t p = 0; p + 1 < comps.size(); ++p) {
+        const std::uint64_t combined =
+            comps[p].iterations + comps[p + 1].iterations;
+        if (combined < best_size) {
+          best_size = combined;
+          pos = p;
+        }
+      }
+      uf_union(parent, comps[pos].root, comps[pos + 1].root);
+      comps[pos].root = std::min(comps[pos].root, comps[pos + 1].root);
+      comps[pos].iterations += comps[pos + 1].iterations;
+      comps.erase(comps.begin() + pos + 1);
+    }
+  }
+
+  // Materialize: members grouped by component, components emitted in
+  // ascending root (== smallest member) order — the same deterministic
+  // shape the greedy kernel produces.
+  std::vector<std::vector<std::uint32_t>> groups(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    groups[uf_find(parent, i)].push_back(i);
+  }
+  std::vector<Cluster> result;
+  result.reserve(target);
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (groups[root].empty()) continue;
+    Cluster merged = std::move(clusters[groups[root].front()]);
+    for (std::size_t m = 1; m < groups[root].size(); ++m) {
+      merged.absorb(std::move(clusters[groups[root][m]]));
+    }
+    result.push_back(std::move(merged));
+  }
+  MLSC_CHECK(result.size() == target,
+             "affinity forest produced " << result.size()
+                                         << " clusters, wanted " << target);
+  clusters = std::move(result);
+}
+
 /// Splits one cluster into two of roughly equal iteration counts.  A
 /// multi-member cluster is split by members (greedy first-fit descending,
 /// keeping shared-data members together is secondary to balance here,
@@ -335,7 +679,7 @@ std::pair<Cluster, Cluster> split_cluster(Cluster cluster,
 
 void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
                       std::vector<IterationChunk>& chunks,
-                      ThreadPool* pool) {
+                      ThreadPool* pool, const ClusterOptions& options) {
   MLSC_CHECK(target >= 1, "target cluster count must be at least 1");
   MLSC_CHECK(!clusters.empty(), "cannot cluster an empty set");
 
@@ -345,7 +689,15 @@ void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
   MLSC_COUNTER_INC("pipeline.clustering_calls");
 
   if (clusters.size() > target) {
-    merge_to_count(clusters, target, pool);
+    const bool use_forest =
+        options.algorithm == ClusterOptions::Algorithm::kForest ||
+        (options.algorithm == ClusterOptions::Algorithm::kAuto &&
+         clusters.size() >= options.forest_threshold);
+    if (use_forest) {
+      forest_to_count(clusters, target, pool, options);
+    } else {
+      merge_to_count(clusters, target, pool);
+    }
   }
   while (clusters.size() < target) {
     // Select the largest cluster (by iterations) and break it in two.

@@ -1,13 +1,29 @@
-// Stage 1 of the hierarchical distribution algorithm (Fig. 5): greedy
-// agglomerative clustering of iteration chunks by cluster-tag dot
-// product, plus the split path when a cluster set has fewer clusters
-// than the level's fan-out requires.
+// Stage 1 of the hierarchical distribution algorithm (Fig. 5):
+// clustering of iteration chunks by cluster-tag dot product, plus the
+// split path when a cluster set has fewer clusters than the level's
+// fan-out requires.
+//
+// Two merge kernels are available (DESIGN.md §15):
+//   - kGreedy: the paper-faithful greedy agglomerative merge (max-heap of
+//     average-linkage candidates with lazy invalidation).  Quality
+//     reference, O(k^2 log k)-ish; the oracle for equivalence tests.
+//   - kForest: the scalable similarity-weighted affinity forest —
+//     candidate edges from the data-chunk inverted index, a
+//     Borůvka-style best-neighbor-hooking maximum-spanning-forest build
+//     (parallel over the thread pool), and a cut of the forest to the
+//     level's fan-out (single-linkage semantics).  Deterministic at any
+//     thread count.
+// kAuto (the default) uses the greedy kernel below forest_threshold
+// input clusters and the forest at or above it, so paper-scale inputs
+// keep the oracle's bit-exact mappings while large sweeps get the
+// sub-quadratic path.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/iteration_chunk.h"
+#include "core/minhash.h"
 #include "core/tag.h"
 #include "support/thread_pool.h"
 
@@ -41,23 +57,67 @@ std::vector<Cluster> make_singletons(
     const std::vector<std::uint32_t>& indices,
     const std::vector<IterationChunk>& chunks);
 
+struct ClusterOptions {
+  enum class Algorithm {
+    /// Greedy below forest_threshold inputs, affinity forest at or
+    /// above.  The default: paper-scale cluster sets keep the greedy
+    /// oracle's exact result, large sets get the scalable kernel.
+    kAuto,
+    /// Always the greedy agglomerative merge (the reference oracle).
+    kGreedy,
+    /// Always the parallel affinity-forest kernel.
+    kForest,
+  };
+  Algorithm algorithm = Algorithm::kAuto;
+
+  /// kAuto switches from greedy to the affinity forest at this many
+  /// input clusters.  The default sits above the pipeline's 4096-chunk
+  /// coarsening cap so every registry workload — at any size factor —
+  /// keeps the greedy oracle's bit-exact mapping; only direct map_chunks
+  /// callers with larger tables (benches, library users) cross over.
+  std::size_t forest_threshold = 8192;
+
+  /// Balance-aware forest cut: a merge that would push a component's
+  /// iteration total above (1 + slack) * (total / target) is skipped,
+  /// so the cut cannot produce the giant single-linkage chain that the
+  /// downstream load balancer would have to disassemble one member at a
+  /// time.  Matches the paper's BThres default; negative disables the
+  /// cap (pure best-score cut).
+  double cut_balance_slack = 0.10;
+
+  /// Forest candidate generation: posting lists (clusters per data
+  /// chunk) longer than this are skipped (0 = no cap); see
+  /// GraphOptions::hot_posting_cap.
+  std::size_t hot_posting_cap = 0;
+
+  /// Forest candidate generation: minhash banding over cluster tag
+  /// positions; bands == 0 (default) disables pruning.
+  MinhashParams banding;
+};
+
 /// Reduces or expands `clusters` to exactly `target` clusters:
-///   - while |clusters| > target, merge the pair with maximal tag dot
-///     product (ties broken deterministically by smaller indices);
+///   - while |clusters| > target, merge by data-sharing affinity — the
+///     greedy max-dot-product merge or the affinity-forest cut,
+///     per `options` (ties broken deterministically by smaller indices);
 ///   - while |clusters| < target, split the largest cluster in two —
 ///     by members when it has several, by splitting the underlying
 ///     iteration chunk (appending to `chunks`) when it has one.
 /// `chunks` may grow; all member indices remain valid.
 ///
-/// Cluster tags and pairwise dot products are maintained incrementally
-/// across merges (inverted data-chunk index + max-heap with lazy
-/// invalidation), so the greedy merge costs O(k^2 log k) word-ops rather
-/// than rescoring every pair per merge.  When `pool` is non-null the
-/// initial O(k^2)-pair scoring fans out across threads; the candidate
-/// ordering is a total order, so the merge sequence — and hence the
-/// result — is bit-identical to the serial run.
+/// Greedy kernel: cluster tags and pairwise dot products are maintained
+/// incrementally across merges (inverted data-chunk index + max-heap
+/// with lazy invalidation), so the merge costs O(k^2 log k) word-ops
+/// rather than rescoring every pair per merge.  Forest kernel: candidate
+/// edges come from the same inverted index, Borůvka rounds hook each
+/// component to its best-scoring neighbor, and the resulting maximum
+/// spanning forest is cut to `target` components in score order.
+///
+/// Both kernels fan the scoring work out over `pool` when one is given;
+/// every parallel reduction is over a total order, so the result is
+/// bit-identical to the serial run at any thread count.
 void cluster_to_count(std::vector<Cluster>& clusters, std::size_t target,
                       std::vector<IterationChunk>& chunks,
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      const ClusterOptions& options = {});
 
 }  // namespace mlsc::core

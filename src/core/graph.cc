@@ -1,8 +1,12 @@
 #include "core/graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/dynamic_bitset.h"
 
@@ -16,6 +20,28 @@ struct RowHit {
   std::uint64_t weight;
 };
 
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Runs body(lo, hi) over [0, n) — on the pool when one is given and the
+/// range is worth fanning out, inline otherwise.  Row outputs land in
+/// per-row slots, so both paths produce identical structure.
+void for_rows(ThreadPool* pool, std::size_t n,
+              const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool != nullptr && n >= 64) {
+    // Small grain: row cost is skewed (early rows see more partners), so
+    // dynamic claiming of many small chunks evens the load out.
+    const std::size_t grain =
+        std::max<std::size_t>(1, n / (pool->num_threads() * 8));
+    pool->parallel_for(0, n, grain, body);
+  } else {
+    body(0, n);
+  }
+}
+
 }  // namespace
 
 ChunkGraph::ChunkGraph(const std::vector<IterationChunk>& chunks,
@@ -26,58 +52,168 @@ ChunkGraph::ChunkGraph(const std::vector<IterationChunk>& chunks,
                                             << " nodes (got " << num_nodes_
                                             << ")");
   const std::uint32_t n = static_cast<std::uint32_t>(num_nodes_);
+  stats_.exact = options.exact;
+  stats_.total_pairs =
+      n == 0 ? 0 : static_cast<std::uint64_t>(n) * (n - 1) / 2;
   if (n == 0) {
     row_offsets_.assign(1, 0);
     return;
   }
 
   // Width r = max set bit + 1; dense bitsets beat the sparse merge when
-  // the width is modest, because and_count is an unrolled word loop.
+  // the tags are dense enough that the word loop touches fewer words
+  // than the merge touches entries.
   std::size_t width = 0;
+  std::uint64_t total_bits = 0;
   for (const auto& chunk : chunks) {
     if (!chunk.tag.bits().empty()) {
       width = std::max<std::size_t>(width, chunk.tag.bits().back() + 1);
     }
+    total_bits += chunk.tag.bits().size();
   }
-  const bool use_bitsets = width > 0 && width <= options.bitset_width_limit;
+  const std::uint64_t avg_popcount = total_bits / n;
+  const bool use_bitsets =
+      width > 0 && width <= options.bitset_width_limit &&
+      (options.exact || width <= 256 * std::max<std::uint64_t>(avg_popcount, 1));
   std::vector<DynamicBitset> dense;
   if (use_bitsets) {
     dense.resize(n);
-    auto build = [&](std::size_t lo, std::size_t hi) {
+    for_rows(options.pool, n, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t v = lo; v < hi; ++v) {
         dense[v] = chunks[v].tag.to_bitset(width);
       }
-    };
-    if (options.pool != nullptr) {
-      options.pool->parallel_for(0, n, options.pool->default_grain(n), build);
-    } else {
-      build(0, n);
-    }
+    });
   }
+  const auto score_pair = [&](std::uint32_t a, std::uint32_t b) {
+    return use_bitsets ? dense[a].and_count(dense[b])
+                       : chunks[a].tag.common_bits(chunks[b].tag);
+  };
 
-  // Pairwise sweep, row-partitioned over the upper triangle.  Rows are
-  // independent and their outputs land in per-row slots, so the parallel
-  // and serial sweeps produce identical structure.
   std::vector<std::vector<RowHit>> rows(n);
-  auto sweep_rows = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t a = lo; a < hi; ++a) {
-      auto& row = rows[a];
-      for (std::uint32_t b = static_cast<std::uint32_t>(a) + 1; b < n; ++b) {
-        const std::uint64_t w =
-            use_bitsets ? dense[a].and_count(dense[b])
-                        : chunks[a].tag.common_bits(chunks[b].tag);
-        if (w > 0) row.push_back(RowHit{b, w});
+  if (options.exact) {
+    // Reference oracle: exhaustive pairwise sweep, row-partitioned over
+    // the upper triangle.
+    stats_.scored_pairs = stats_.total_pairs;
+    for_rows(options.pool, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t a = lo; a < hi; ++a) {
+        auto& row = rows[a];
+        for (std::uint32_t b = static_cast<std::uint32_t>(a) + 1; b < n;
+             ++b) {
+          const std::uint64_t w = score_pair(static_cast<std::uint32_t>(a), b);
+          if (w > 0) row.push_back(RowHit{b, w});
+        }
+      }
+    });
+  } else {
+    // Stage 1: candidate generation.  Build the data-chunk inverted
+    // index (posting lists of chunk ids, ascending by construction) and
+    // read candidate pairs off it: chunk b is a candidate partner of a
+    // iff some uncapped posting list contains both.  Banding then prunes
+    // candidates that agree on no minhash band.
+    const auto generate_start = std::chrono::steady_clock::now();
+    obs::Span gen_span("pipeline.candidate_gen");
+    gen_span.arg("chunks", static_cast<std::uint64_t>(n));
+
+    std::vector<std::vector<std::uint32_t>> postings(width);
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (const std::uint32_t bit : chunks[a].tag.bits()) {
+        postings[bit].push_back(a);
       }
     }
-  };
-  if (options.pool != nullptr && n >= 64) {
-    // Small grain: row a costs O(n - a), so late chunks are cheap and
-    // dynamic claiming evens the triangle out.
-    const std::size_t grain =
-        std::max<std::size_t>(1, n / (options.pool->num_threads() * 8));
-    options.pool->parallel_for(0, n, grain, sweep_rows);
-  } else {
-    sweep_rows(0, n);
+    std::uint64_t hot_skipped = 0;
+    if (options.hot_posting_cap > 0) {
+      for (auto& list : postings) {
+        if (list.size() > options.hot_posting_cap) {
+          list.clear();  // skip the whole posting: too hot to enumerate
+          ++hot_skipped;
+        }
+      }
+    }
+    stats_.hot_postings_skipped = hot_skipped;
+
+    std::vector<std::uint64_t> band_keys;
+    if (options.banding.enabled()) {
+      band_keys.resize(static_cast<std::size_t>(n) * options.banding.bands);
+      for_rows(options.pool, n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          minhash_band_keys(chunks[v].tag.bits(), options.banding,
+                            band_keys.data() + v * options.banding.bands);
+        }
+      });
+    }
+
+    std::vector<std::vector<std::uint32_t>> candidates(n);
+    std::atomic<std::uint64_t> pruned{0};
+    std::atomic<std::uint64_t> scored{0};
+    for_rows(options.pool, n, [&](std::size_t lo, std::size_t hi) {
+      std::vector<std::uint32_t> scratch;
+      std::uint64_t local_pruned = 0;
+      std::uint64_t local_kept = 0;
+      for (std::size_t a = lo; a < hi; ++a) {
+        scratch.clear();
+        for (const std::uint32_t bit : chunks[a].tag.bits()) {
+          const auto& list = postings[bit];
+          // Only partners above a: the pair (a, b) is generated once,
+          // when a is the smaller id.
+          auto it = std::upper_bound(list.begin(), list.end(),
+                                     static_cast<std::uint32_t>(a));
+          scratch.insert(scratch.end(), it, list.end());
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        if (options.banding.enabled()) {
+          const std::uint64_t* keys_a =
+              band_keys.data() + a * options.banding.bands;
+          auto& out = candidates[a];
+          out.reserve(scratch.size());
+          for (const std::uint32_t b : scratch) {
+            if (minhash_shares_band(
+                    keys_a, band_keys.data() + b * options.banding.bands,
+                    options.banding)) {
+              out.push_back(b);
+            } else {
+              ++local_pruned;
+            }
+          }
+          local_kept += out.size();
+        } else {
+          candidates[a] = scratch;
+          local_kept += scratch.size();
+        }
+      }
+      pruned.fetch_add(local_pruned, std::memory_order_relaxed);
+      scored.fetch_add(local_kept, std::memory_order_relaxed);
+    });
+    stats_.banding_pruned = pruned.load();
+    stats_.scored_pairs = scored.load();
+    stats_.generate_ms = elapsed_ms(generate_start);
+    gen_span.arg("candidate_pairs", stats_.scored_pairs);
+    gen_span.arg("pairs_pruned", stats_.banding_pruned);
+    gen_span.end();
+    MLSC_COUNTER_ADD("graph.candidate_pairs", stats_.scored_pairs);
+    MLSC_COUNTER_ADD("graph.pairs_pruned", stats_.banding_pruned);
+    MLSC_COUNTER_ADD("graph.hot_postings_skipped", hot_skipped);
+
+    // Stage 2: score the survivors with the exact tag intersection.
+    // Every candidate shares at least one uncapped data chunk, so all
+    // weights are nonzero; the weights themselves are exact (capping
+    // and banding decide *which* pairs are scored, never the score).
+    const auto score_start = std::chrono::steady_clock::now();
+    obs::Span score_span("pipeline.pair_scoring");
+    score_span.arg("pairs", stats_.scored_pairs);
+    for_rows(options.pool, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t a = lo; a < hi; ++a) {
+        auto& row = rows[a];
+        row.reserve(candidates[a].size());
+        for (const std::uint32_t b : candidates[a]) {
+          const std::uint64_t w = score_pair(static_cast<std::uint32_t>(a), b);
+          if (w > 0) row.push_back(RowHit{b, w});
+        }
+      }
+    });
+    stats_.score_ms = elapsed_ms(score_start);
+    score_span.end();
   }
 
   // Freeze into edges_ ((a < b) lexicographic) and the symmetric CSR.

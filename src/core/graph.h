@@ -3,21 +3,34 @@
 // Nodes are iteration chunks; the weight of edge (γΛi, γΛj) is the number
 // of common "1" bits in Λi ∧ Λj — the amount of data the two chunks
 // share at chunk granularity.  Zero-weight pairs get no edge (Fig. 8
-// omits them too).  The clustering stage computes dot products directly
-// on cluster tags for efficiency, so this graph mainly serves analysis,
-// visualization, the worked-example tests, and the dependence extension
-// (which adds infinite-weight edges).
+// omits them too).
 //
-// Representation: the O(V^2) pairwise common-bits sweep runs once at
-// construction (row-partitioned over the upper triangle and optionally
-// parallelized over a ThreadPool), then the nonzero structure is frozen
-// into a symmetric CSR adjacency — row offsets plus sorted neighbor /
-// weight / edge-id arrays.  weight() is a binary search in a row
-// (O(log degree)), neighbors() is a zero-copy span over a row, and
-// set_infinite() updates the two directed entries plus the edge record
-// in O(log degree).  Dependence pinning of a pair with *zero* shared
-// data inserts a new edge after the freeze; such rows are patched into
-// small side tables so every accessor stays consistent.
+// Construction is a three-stage kernel (DESIGN.md §15):
+//   1. candidate generation — similarity is nonzero only for chunks that
+//      share at least one data chunk, so candidate pairs are read off a
+//      data-chunk inverted index (posting lists of chunk ids per data
+//      chunk) instead of enumerating all O(V^2) pairs.  A hot-posting cap
+//      can skip pathologically shared data chunks, and optional
+//      minhash/LSH banding (core/minhash.h) prunes near-zero-similarity
+//      candidates before they are scored.  Both filters only *remove*
+//      pairs: the filtered graph is always a subgraph of the exact one,
+//      and with both disabled (the default) the graph is identical to
+//      the exhaustive sweep's.
+//   2. scoring — surviving pairs are scored with the exact tag
+//      intersection (DynamicBitset::and_count on densified tags, or the
+//      sparse merge when tags are sparse relative to the width).
+//   3. freeze — the nonzero structure is frozen into a symmetric CSR
+//      adjacency: row offsets plus sorted neighbor / weight / edge-id
+//      arrays.  weight() is a binary search in a row (O(log degree)),
+//      neighbors() is a zero-copy span over a row, and set_infinite()
+//      updates the two directed entries plus the edge record in
+//      O(log degree).  Dependence pinning of a pair with *zero* shared
+//      data inserts a new edge after the freeze; such rows are patched
+//      into small side tables so every accessor stays consistent.
+//
+// The pre-existing exhaustive O(V^2) sweep is kept behind
+// GraphOptions::exact as the reference oracle for equivalence tests and
+// the quality bench.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +41,7 @@
 #include <vector>
 
 #include "core/iteration_chunk.h"
+#include "core/minhash.h"
 #include "support/thread_pool.h"
 
 namespace mlsc::core {
@@ -42,31 +56,81 @@ struct GraphEdge {
 };
 
 struct GraphOptions {
-  /// Upper bound on the node count.  The sweep is O(V^2) pairings and the
-  /// CSR is O(V + E); the default admits a million chunks, far above the
-  /// old hard-wired 8192 cap, while still catching accidental explosion.
+  /// Upper bound on the node count.  Candidate generation is output-
+  /// sensitive and the CSR is O(V + E); the default admits a million
+  /// chunks while still catching accidental explosion.
   std::size_t max_nodes = 1u << 20;
 
   /// Tags whose width (max set bit + 1) is at most this many bits are
-  /// densified into DynamicBitsets so the sweep runs on the unrolled
-  /// word-level and_count instead of the sparse merge.
+  /// densified into DynamicBitsets so scoring runs on the SIMD/unrolled
+  /// word-level and_count instead of the sparse merge.  Candidate
+  /// scoring additionally requires the tags to be dense enough for the
+  /// word loop to beat the sparse merge (see graph.cc).
   std::size_t bitset_width_limit = 1u << 15;
 
-  /// Pool for the pairwise sweep; null (or a 1-thread pool) runs serially.
-  /// Either way the result is identical — rows are independent.
+  /// Pool for candidate generation and scoring; null (or a 1-thread
+  /// pool) runs serially.  Either way the result is identical — rows are
+  /// independent.
   ThreadPool* pool = nullptr;
+
+  /// Run the exhaustive O(V^2) pairwise sweep instead of inverted-index
+  /// candidate generation.  The reference oracle: slower, but immune to
+  /// the hot-posting cap and banding filters below.
+  bool exact = false;
+
+  /// Posting lists longer than this many chunks are skipped during
+  /// candidate generation (0 = no cap).  A data chunk shared by
+  /// thousands of iteration chunks (a universally-read table) generates
+  /// near-uniform similarity and a quadratic blowup of candidates;
+  /// capping it prunes those pairs.  Pairs that share *only* capped data
+  /// chunks are lost (subgraph), all other weights stay exact.
+  std::size_t hot_posting_cap = 0;
+
+  /// Minhash/LSH banding of the tag bitsets; banding.bands == 0 (the
+  /// default) disables it.  When enabled, candidates that agree on no
+  /// band are pruned before scoring.
+  MinhashParams banding;
+};
+
+/// Construction statistics, for benchmarks and the candidate-pair
+/// reduction gate in CI.
+struct GraphStats {
+  /// All unordered pairs, n*(n-1)/2 — what the exact sweep scores.
+  std::uint64_t total_pairs = 0;
+  /// Pairs actually scored (candidate pairs surviving every filter; for
+  /// the exact sweep this equals total_pairs).
+  std::uint64_t scored_pairs = 0;
+  /// Candidates pruned by minhash banding before scoring.
+  std::uint64_t banding_pruned = 0;
+  /// Posting lists skipped by the hot-posting cap.
+  std::uint64_t hot_postings_skipped = 0;
+  /// Wall clock of the generate and score stages (candidate path only).
+  double generate_ms = 0.0;
+  double score_ms = 0.0;
+  bool exact = false;
+
+  /// scored / total — the candidate-pair reduction the inverted index
+  /// bought (1.0 for the exact sweep; lower is better).
+  double reduction_ratio() const {
+    return total_pairs == 0
+               ? 0.0
+               : static_cast<double>(scored_pairs) /
+                     static_cast<double>(total_pairs);
+  }
 };
 
 class ChunkGraph {
  public:
-  /// Builds the complete similarity structure over the chunk table with
-  /// an O(V^2) pairwise sweep, then freezes it into CSR form.
+  /// Builds the complete similarity structure over the chunk table —
+  /// candidate generation + scoring by default, the exhaustive sweep
+  /// with options.exact — then freezes it into CSR form.
   explicit ChunkGraph(const std::vector<IterationChunk>& chunks,
                       const GraphOptions& options = {});
 
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return edges_.size(); }
   const std::vector<GraphEdge>& edges() const { return edges_; }
+  const GraphStats& stats() const { return stats_; }
 
   /// Weight between two nodes; 0 when there is no edge.  O(log degree).
   std::uint64_t weight(std::uint32_t a, std::uint32_t b) const;
@@ -101,6 +165,7 @@ class ChunkGraph {
   std::size_t csr_find(std::uint32_t a, std::uint32_t b) const;
 
   std::size_t num_nodes_ = 0;
+  GraphStats stats_;
 
   // Symmetric CSR adjacency: row v is
   // col_[row_offsets_[v] .. row_offsets_[v+1]), sorted ascending, with

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -62,55 +63,105 @@ void fold_member(MemberChoice& choice, std::uint32_t member, std::uint64_t d,
   }
 }
 
-/// Merges a later block's choice into an earlier one (same predicates,
-/// applied left to right over the block sequence).
-void fold_choice(MemberChoice& acc, const MemberChoice& next,
-                 const std::vector<IterationChunk>& chunks) {
-  if (next.best_fit != UINT32_MAX &&
-      (acc.best_fit == UINT32_MAX || next.best_fit_dot > acc.best_fit_dot ||
-       (next.best_fit_dot == acc.best_fit_dot &&
-        chunks[next.best_fit].iterations >
-            chunks[acc.best_fit].iterations))) {
-    acc.best_fit = next.best_fit;
-    acc.best_fit_dot = next.best_fit_dot;
+/// Incrementally maintained affinity scores for the balance loop's
+/// current (donor, recipient) pair.  The loop typically keeps the same
+/// pair for many consecutive moves, and rescoring every donor member
+/// with a galloped tag dot per move made balancing
+/// O(moves x members x log) — the dominant cost at bench scale.  The
+/// cache fills the dots once per pair and updates them in O(shared
+/// positions) per move: when the recipient absorbs a tag, a donor
+/// member's dot grows by exactly the number of positions the two tags
+/// share, which the bit -> members posting index enumerates directly.
+/// All updates are exact integer deltas, so the scan that consumes the
+/// cache picks the same member, bit for bit, as a fresh rescan.
+class AffinityCache {
+ public:
+  bool active_for(std::size_t donor, std::size_t recipient) const {
+    return donor == donor_ && recipient == recipient_;
   }
-  if (next.best_any != UINT32_MAX &&
-      (acc.best_any == UINT32_MAX || next.best_any_dot > acc.best_any_dot)) {
-    acc.best_any = next.best_any;
-    acc.best_any_dot = next.best_any_dot;
-  }
-}
 
-/// The candidate-scoring inner loop of both balancing passes: dot every
-/// donor member's tag against the recipient's cluster tag.  Fans out over
-/// the pool for large donors; per-block partials reduce in block order,
-/// which makes the pick bit-identical to the serial scan.
-MemberChoice score_members(const Cluster& donor, const Cluster& recipient,
+  void activate(std::size_t donor, std::size_t recipient,
+                const std::vector<Cluster>& clusters,
+                const std::vector<IterationChunk>& chunks, ThreadPool* pool) {
+    if (active_for(donor, recipient)) return;
+    donor_ = donor;
+    recipient_ = recipient;
+    ++rebuilds_;
+    postings_.clear();
+    dots_.assign(chunks.size(), 0);
+    const auto& members = clusters[donor].members;
+    const ClusterTag& target = clusters[recipient].tag;
+    if (pool != nullptr && pool->num_threads() > 1 && members.size() >= 512) {
+      // Disjoint writes by member id: deterministic regardless of the
+      // block schedule.
+      const std::size_t grain = pool->default_grain(members.size());
+      pool->parallel_chunks(0, members.size(), grain,
+                            [&](std::size_t, std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i) {
+                                dots_[members[i]] =
+                                    target.dot(chunks[members[i]].tag);
+                              }
+                            });
+    } else {
+      for (std::uint32_t member : members) {
+        dots_[member] = target.dot(chunks[member].tag);
+      }
+    }
+    for (std::uint32_t member : members) {
+      for (std::uint32_t b : chunks[member].tag.bits()) {
+        postings_[b].push_back(member);
+      }
+    }
+  }
+
+  std::uint64_t dot(std::uint32_t member) const { return dots_[member]; }
+
+  /// The cluster at `recipient` absorbed `arriving` (a whole member's
+  /// tag or a split head): every cached dot grows by its overlap with
+  /// the arriving tag.  Members that already left the donor pick up
+  /// stale increments, but the scan never reads them again.
+  void recipient_absorbed(std::size_t recipient, const ChunkTag& arriving) {
+    if (recipient != recipient_) return;
+    for (std::uint32_t b : arriving.bits()) {
+      const auto it = postings_.find(b);
+      if (it == postings_.end()) continue;
+      for (std::uint32_t member : it->second) ++dots_[member];
+    }
+  }
+
+  /// The cluster at `donor` gained a freshly split tail chunk: score it
+  /// against the cached recipient's current tag and index its bits.
+  void donor_gained(std::size_t donor, std::uint32_t member,
+                    const std::vector<Cluster>& clusters,
+                    const IterationChunk& chunk) {
+    if (donor != donor_) return;
+    if (dots_.size() <= member) dots_.resize(member + 1, 0);
+    dots_[member] = clusters[recipient_].tag.dot(chunk.tag);
+    for (std::uint32_t b : chunk.tag.bits()) postings_[b].push_back(member);
+  }
+
+  std::size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  std::size_t donor_ = SIZE_MAX;
+  std::size_t recipient_ = SIZE_MAX;
+  std::vector<std::uint64_t> dots_;   // by chunk id, donor members valid
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> postings_;
+  std::size_t rebuilds_ = 0;
+};
+
+/// Scores the donor against the recipient through the cache: identical
+/// winner to dotting every member afresh, O(members) comparisons.
+MemberChoice score_members(AffinityCache& cache, std::size_t donor,
+                           std::size_t recipient,
+                           const std::vector<Cluster>& clusters,
                            const std::vector<IterationChunk>& chunks,
                            std::uint64_t move_max, ThreadPool* pool) {
-  const auto& members = donor.members;
+  cache.activate(donor, recipient, clusters, chunks, pool);
   MemberChoice choice;
-  if (pool == nullptr || pool->num_threads() <= 1 || members.size() < 512) {
-    for (std::uint32_t member : members) {
-      fold_member(choice, member, recipient.tag.dot(chunks[member].tag),
-                  move_max, chunks);
-    }
-    return choice;
+  for (std::uint32_t member : clusters[donor].members) {
+    fold_member(choice, member, cache.dot(member), move_max, chunks);
   }
-
-  const std::size_t grain = pool->default_grain(members.size());
-  std::vector<MemberChoice> partial(
-      ThreadPool::chunk_count(0, members.size(), grain));
-  pool->parallel_chunks(
-      0, members.size(), grain,
-      [&](std::size_t block, std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          fold_member(partial[block], members[i],
-                      recipient.tag.dot(chunks[members[i]].tag), move_max,
-                      chunks);
-        }
-      });
-  for (const MemberChoice& block : partial) fold_choice(choice, block, chunks);
   return choice;
 }
 
@@ -147,6 +198,7 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
         limits.upper, (total + clusters.size() - 1) / clusters.size());
   }
   std::size_t moves = 0;
+  AffinityCache cache;
 
   for (;;) {
     // Donor: the largest cluster above the upper limit.
@@ -182,8 +234,8 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
     // Pick the donor member with maximal affinity to the recipient among
     // those that fit whole; otherwise take the best-affinity member and
     // split it so exactly move_max iterations move.
-    const MemberChoice choice = score_members(
-        clusters[donor], clusters[recipient], chunks, move_max, pool);
+    const MemberChoice choice = score_members(cache, donor, recipient,
+                                              clusters, chunks, move_max, pool);
 
     if (choice.best_fit != UINT32_MAX) {
       const std::uint32_t best_fit = choice.best_fit;
@@ -192,6 +244,7 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
                  << donor << " -> " << recipient);
       clusters[donor].remove_member(best_fit, chunks[best_fit]);
       clusters[recipient].add_member(best_fit, chunks[best_fit]);
+      cache.recipient_absorbed(recipient, chunks[best_fit].tag);
     } else {
       const std::uint32_t best_any = choice.best_any;
       MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
@@ -206,6 +259,8 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
       const auto tail_index = static_cast<std::uint32_t>(chunks.size() - 1);
       clusters[recipient].add_member(best_any, chunks[best_any]);
       clusters[donor].add_member(tail_index, chunks[tail_index]);
+      cache.recipient_absorbed(recipient, chunks[best_any].tag);
+      cache.donor_gained(donor, tail_index, clusters, chunks[tail_index]);
     }
     ++moves;
     MLSC_CHECK(moves < 100000, "balance loop did not converge");
@@ -239,8 +294,8 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
     const std::uint64_t move_max =
         std::min(need, clusters[donor].iterations - limits.lower);
 
-    const MemberChoice choice = score_members(
-        clusters[donor], clusters[recipient], chunks, move_max, pool);
+    const MemberChoice choice = score_members(cache, donor, recipient,
+                                              clusters, chunks, move_max, pool);
     if (choice.best_fit != UINT32_MAX) {
       const std::uint32_t best_fit = choice.best_fit;
       MLSC_DEBUG("balance pull-up: member " << best_fit << " ("
@@ -248,6 +303,7 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
                  << donor << " -> " << recipient);
       clusters[donor].remove_member(best_fit, chunks[best_fit]);
       clusters[recipient].add_member(best_fit, chunks[best_fit]);
+      cache.recipient_absorbed(recipient, chunks[best_fit].tag);
     } else {
       const std::uint32_t best_any = choice.best_any;
       MLSC_CHECK(best_any != UINT32_MAX, "donor cluster has no members");
@@ -261,12 +317,16 @@ std::size_t balance_clusters(std::vector<Cluster>& clusters,
       const auto tail_index = static_cast<std::uint32_t>(chunks.size() - 1);
       clusters[recipient].add_member(best_any, chunks[best_any]);
       clusters[donor].add_member(tail_index, chunks[tail_index]);
+      cache.recipient_absorbed(recipient, chunks[best_any].tag);
+      cache.donor_gained(donor, tail_index, clusters, chunks[tail_index]);
     }
     ++moves;
     MLSC_CHECK(moves < 200000, "balance lower pass did not converge");
   }
   span.arg("moves", static_cast<std::uint64_t>(moves));
+  span.arg("affinity_rebuilds", static_cast<std::uint64_t>(cache.rebuilds()));
   MLSC_COUNTER_ADD("pipeline.balance_moves", moves);
+  MLSC_COUNTER_ADD("pipeline.balance_affinity_rebuilds", cache.rebuilds());
   return moves;
 }
 

@@ -87,7 +87,8 @@ MappingResult HierarchicalMapper::map_chunks_with_pool(
       if (set.empty()) continue;
 
       auto clusters = make_singletons(set, chunks);
-      cluster_to_count(clusters, children.size(), chunks, pool);
+      cluster_to_count(clusters, children.size(), chunks, pool,
+                       options_.clustering);
       // All children of a layered tree have equal leaf counts; scale the
       // global per-client window by that count.
       const auto leaves =

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/clustering.h"
 #include "core/data_space.h"
 #include "core/load_balance.h"
 #include "core/mapping.h"
@@ -20,6 +21,10 @@ struct HierarchicalMapperOptions {
   /// value used in the paper's experiments, §5.2).
   double balance_threshold = 0.10;
   TaggingOptions tagging;
+
+  /// Clustering kernel selection (greedy oracle vs affinity forest) and
+  /// the forest's candidate filters; see ClusterOptions.
+  ClusterOptions clustering;
 
   /// Threads for tagging, clustering and balancing: 1 = serial (the
   /// default), 0 = hardware concurrency, N = exactly N.  Every parallel

@@ -1,0 +1,90 @@
+// Minhash/LSH banding of sparse tag bitsets (similarity-graph candidate
+// pruning, DESIGN.md §15).
+//
+// Each tag (a sorted set of data-chunk positions) gets `bands` band keys;
+// band k hashes the `rows` minhashes h_{k*rows}..h_{k*rows+rows-1}, where
+// h_i(tag) = min over positions p of a SplitMix64-style mix of (seed, i,
+// p).  Two tags sharing a band key are Jaccard-similar with probability
+// 1 - (1 - J^rows)^bands, so pairs that agree on *no* band are very
+// likely near-zero-similarity and can be pruned before scoring.  Banding
+// is strictly a filter: enabling it can only remove candidate pairs, so
+// the banded similarity graph is a subgraph of the exact one.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mlsc::core {
+
+struct MinhashParams {
+  /// Number of LSH bands; 0 disables banding entirely.
+  std::size_t bands = 0;
+  /// Minhashes hashed together per band.  More rows make a band match
+  /// stricter (higher precision, lower recall for weakly-similar pairs).
+  std::size_t rows = 2;
+  /// Seed mixed into every hash so sketches are reproducible.
+  std::uint64_t seed = 0x6d6c7363u;  // "mlsc"
+
+  bool enabled() const { return bands > 0; }
+};
+
+namespace detail {
+
+/// SplitMix64 finalizer — the same mix rng.h uses to expand seeds.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// The `bands` band keys of one tag.  An empty tag gets a per-call
+/// sentinel that never matches another tag's keys (empty tags share no
+/// data with anything).
+inline void minhash_band_keys(std::span<const std::uint32_t> positions,
+                              const MinhashParams& params,
+                              std::uint64_t* out) {
+  constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+  if (positions.empty()) {
+    for (std::size_t k = 0; k < params.bands; ++k) {
+      out[k] = std::numeric_limits<std::uint64_t>::max();
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < params.bands; ++k) {
+    std::uint64_t key = 1469598103934665603ull;  // FNV offset basis
+    for (std::size_t j = 0; j < params.rows; ++j) {
+      const std::uint64_t fn = params.seed + (k * params.rows + j + 1) * kGolden;
+      std::uint64_t mh = std::numeric_limits<std::uint64_t>::max();
+      for (const std::uint32_t pos : positions) {
+        const std::uint64_t h = detail::mix64(fn ^ (pos * kGolden));
+        if (h < mh) mh = h;
+      }
+      key = (key ^ mh) * 1099511628211ull;  // FNV prime
+    }
+    // Keep 0 and ~0 free for "never matches" sentinels.
+    out[k] = key == 0 || key == std::numeric_limits<std::uint64_t>::max()
+                 ? 1
+                 : key;
+  }
+}
+
+/// True when the two tags agree on at least one band (or banding is off,
+/// in which case nothing is ever pruned).  `a` and `b` point at
+/// params.bands keys each; the ~0 sentinel (empty tag) never matches.
+inline bool minhash_shares_band(const std::uint64_t* a, const std::uint64_t* b,
+                                const MinhashParams& params) {
+  if (!params.enabled()) return true;
+  for (std::size_t k = 0; k < params.bands; ++k) {
+    if (a[k] == b[k] &&
+        a[k] != std::numeric_limits<std::uint64_t>::max()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mlsc::core

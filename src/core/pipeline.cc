@@ -63,6 +63,7 @@ MappingResult MappingPipeline::run(const poly::Program& program,
   HierarchicalMapperOptions mapper_options;
   mapper_options.balance_threshold = options_.balance_threshold;
   mapper_options.tagging = options_.tagging;
+  mapper_options.clustering = options_.clustering;
   mapper_options.num_threads = options_.num_threads;
   HierarchicalMapper mapper(tree_, mapper_options);
   auto mapping = mapper.map_chunks(std::move(chunks));

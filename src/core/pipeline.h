@@ -37,6 +37,10 @@ struct PipelineOptions {
   TaggingOptions tagging;
   IntraProcessorOptions intra;
 
+  /// Clustering kernel selection (greedy oracle vs affinity forest) and
+  /// the forest's candidate filters; see ClusterOptions.
+  ClusterOptions clustering;
+
   /// Threads for the mapping stages (tagging, clustering, balancing):
   /// 1 = serial (default), 0 = hardware concurrency, N = exactly N.  The
   /// mapping produced is bit-identical for every value — parallel stages

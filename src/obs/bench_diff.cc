@@ -216,6 +216,10 @@ bool is_timing_metric(std::string_view name) {
   return false;
 }
 
+bool is_guarded_metric(std::string_view name) {
+  return lowercase(name).find("reduction_ratio") != std::string::npos;
+}
+
 std::vector<FlatMetric> flatten_run_record(const JsonValue& record) {
   std::vector<FlatMetric> out;
   flatten_tables(record, &out);
@@ -297,7 +301,12 @@ DiffResult diff_run_records(const JsonValue& baseline,
     const double magnitude = b.noise == MetricNoise::kTiming
                                  ? d.rel_delta  // only increases regress
                                  : std::fabs(d.rel_delta);
-    if (magnitude > options.hard_factor * d.threshold) {
+    // Guarded deterministic metrics (reduction_ratio) have no soft
+    // band: the pruning guarantees are exact, so any breach is hard.
+    const bool guarded = b.noise == MetricNoise::kDeterministic &&
+                         is_guarded_metric(b.name);
+    if (magnitude > options.hard_factor * d.threshold ||
+        (guarded && magnitude > d.threshold)) {
       d.verdict = Verdict::kHardRegression;
       ++result.hard_regressions;
     } else if (magnitude > d.threshold) {
@@ -324,6 +333,51 @@ DiffResult diff_run_records(const JsonValue& baseline,
     result.deltas.push_back(std::move(d));
   }
   return result;
+}
+
+bool parse_min_assertion(std::string_view spec, MinAssertion* out) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  const std::string value(spec.substr(colon + 1));
+  char* end = nullptr;
+  const double min = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !std::isfinite(min)) {
+    return false;
+  }
+  out->metric = std::string(spec.substr(0, colon));
+  out->min = min;
+  return true;
+}
+
+std::vector<std::string> check_min_assertions(
+    const JsonValue& record, const std::vector<MinAssertion>& assertions) {
+  const std::vector<FlatMetric> metrics = flatten_run_record(record);
+  std::map<std::string, double> by_name;
+  for (const FlatMetric& m : metrics) by_name.emplace(m.name, m.value);
+
+  std::vector<std::string> failures;
+  for (const MinAssertion& a : assertions) {
+    const auto it = by_name.find(a.metric);
+    if (it == by_name.end()) {
+      failures.push_back("assert-min: metric '" + a.metric +
+                         "' not found in record");
+      continue;
+    }
+    if (!std::isfinite(it->second)) {
+      failures.push_back("assert-min: metric '" + a.metric +
+                         "' is not finite");
+      continue;
+    }
+    if (it->second < a.min) {
+      failures.push_back("assert-min: " + a.metric + " = " +
+                         format_double(it->second, 4) + " < required " +
+                         format_double(a.min, 4));
+    }
+  }
+  return failures;
 }
 
 Table diff_table(const DiffResult& result, bool color, bool all) {

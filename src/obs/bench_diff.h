@@ -41,6 +41,13 @@ struct FlatMetric {
 /// True when the metric name denotes a wall-clock measurement.
 bool is_timing_metric(std::string_view name);
 
+/// True when the metric is guarded: any deterministic breach is an
+/// immediate hard regression, with no soft band.  Guarded metrics are
+/// algorithmic guarantees (e.g. the candidate-pair reduction_ratio of
+/// the similarity graph) — deterministic by construction, so any drift
+/// means the pruning behaviour changed.
+bool is_guarded_metric(std::string_view name);
+
 /// Flattens a parsed run record (or legacy bench --json document) into
 /// its comparable metrics:
 ///   tables.<title>[<row>].<column>   numeric table cells
@@ -95,6 +102,25 @@ struct DiffResult {
 DiffResult diff_run_records(const JsonValue& baseline,
                             const JsonValue& current,
                             const DiffOptions& options = {});
+
+/// A floor assertion on one metric of the *current* record (no baseline
+/// involved): `metric` must be >= `min`.  CI uses these for environment-
+/// dependent guarantees a committed baseline cannot express — e.g.
+/// "map_speedup at 4 threads >= 1.3" evaluated on the runner's own
+/// record (this container may be single-core while CI is not).
+struct MinAssertion {
+  std::string metric;
+  double min = 0.0;
+};
+
+/// Parses "metric:value" (value = trailing float after the last ':').
+bool parse_min_assertion(std::string_view spec, MinAssertion* out);
+
+/// Evaluates assertions against a record's flattened metrics.  Returns
+/// one human-readable failure line per unmet assertion; a missing or
+/// non-finite metric is a failure too.
+std::vector<std::string> check_min_assertions(
+    const JsonValue& record, const std::vector<MinAssertion>& assertions);
 
 /// The delta table: every interesting row (regressions, improvements,
 /// missing/new), plus all compared rows when `all` is set.  With

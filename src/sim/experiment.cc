@@ -36,6 +36,7 @@ ExperimentResult run_experiment(const workloads::Workload& workload,
   options.scheduler = scheme.scheduler;
   options.tagging = scheme.tagging;
   options.dependences = scheme.dependences;
+  options.clustering = scheme.clustering;
   options.num_threads = scheme.num_threads;
   options.intra.client_cache_bytes = config.client_cache_bytes;
 

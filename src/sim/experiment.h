@@ -30,6 +30,11 @@ struct SchemeSpec {
   core::DependenceStrategy dependences =
       core::DependenceStrategy::kSynchronize;
 
+  /// Clustering kernel selection and candidate filters
+  /// (core::PipelineOptions::clustering); the kAuto default keeps
+  /// paper-scale workloads on the greedy oracle kernel.
+  core::ClusterOptions clustering;
+
   /// Mapping-stage threads (core::PipelineOptions::num_threads): 1 =
   /// serial, 0 = hardware concurrency.  Mappings are bit-identical for
   /// every value; this only changes mapping wall-clock time.

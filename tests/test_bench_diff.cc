@@ -170,6 +170,66 @@ TEST(BenchDiff, NonFiniteValuesAreSkippedNotFatal) {
   }
 }
 
+TEST(BenchDiff, GuardedMetricHasNoSoftBand) {
+  EXPECT_TRUE(is_guarded_metric("tables.similarity[8192].reduction_ratio"));
+  EXPECT_TRUE(is_guarded_metric("gauges.graph.REDUCTION_RATIO"));
+  EXPECT_FALSE(is_guarded_metric("tables.scaling[1024/1].map_ms"));
+  EXPECT_FALSE(is_guarded_metric("counters.pipeline.balance_moves"));
+
+  // A breach between threshold and hard_factor x threshold is soft for a
+  // plain deterministic metric, hard for a guarded one.
+  const std::string base_text =
+      patched("\"g.load\": 0.5",
+              "\"g.load\": 10000, \"graph.reduction_ratio\": 10000");
+  const std::string bumped_text =
+      patched("\"g.load\": 0.5",
+              "\"g.load\": 10015, \"graph.reduction_ratio\": 10015");
+  const JsonValue base = parse_json(base_text);
+  const JsonValue bumped = parse_json(bumped_text);
+  const DiffResult result = diff_run_records(base, bumped);
+  EXPECT_EQ(result.exit_code(), 2);
+  for (const auto& d : result.deltas) {
+    if (d.name == "gauges.graph.reduction_ratio") {
+      EXPECT_EQ(d.verdict, Verdict::kHardRegression);
+    } else if (d.name == "gauges.g.load") {
+      EXPECT_EQ(d.verdict, Verdict::kSoftRegression);
+    }
+  }
+}
+
+TEST(BenchDiff, ParseMinAssertion) {
+  MinAssertion a;
+  ASSERT_TRUE(parse_min_assertion("tables.scaling[1024/2].map_speedup:1.3", &a));
+  EXPECT_EQ(a.metric, "tables.scaling[1024/2].map_speedup");
+  EXPECT_DOUBLE_EQ(a.min, 1.3);
+  // The metric name may itself contain colons; the value is everything
+  // after the *last* one.
+  ASSERT_TRUE(parse_min_assertion("a:b:2.5", &a));
+  EXPECT_EQ(a.metric, "a:b");
+  EXPECT_DOUBLE_EQ(a.min, 2.5);
+  EXPECT_FALSE(parse_min_assertion("no-colon", &a));
+  EXPECT_FALSE(parse_min_assertion("m:", &a));
+  EXPECT_FALSE(parse_min_assertion("m:not-a-number", &a));
+  EXPECT_FALSE(parse_min_assertion(":1.0", &a));
+  EXPECT_FALSE(parse_min_assertion("m:1.0trailing", &a));
+}
+
+TEST(BenchDiff, CheckMinAssertions) {
+  const JsonValue record = parse_json(kRecord);
+  std::vector<MinAssertion> assertions{
+      {"counters.pipeline.balance_moves", 10.0},  // 17 >= 10: met
+      {"gauges.g.load", 0.5},                     // boundary counts as met
+  };
+  EXPECT_TRUE(check_min_assertions(record, assertions).empty());
+
+  assertions.push_back({"counters.pipeline.balance_moves", 100.0});
+  assertions.push_back({"no.such.metric", 1.0});
+  const auto failures = check_min_assertions(record, assertions);
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_NE(failures[0].find("balance_moves"), std::string::npos);
+  EXPECT_NE(failures[1].find("no.such.metric"), std::string::npos);
+}
+
 TEST(BenchDiff, DiffTableListsRegressions) {
   const JsonValue base = parse_json(kRecord);
   const JsonValue worse =

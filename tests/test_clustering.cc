@@ -162,5 +162,109 @@ TEST(Clustering, RejectsEmptyInput) {
   EXPECT_THROW(cluster_to_count(clusters, 1, chunks), mlsc::Error);
 }
 
+ClusterOptions forest_options() {
+  ClusterOptions options;
+  options.algorithm = ClusterOptions::Algorithm::kForest;
+  return options;
+}
+
+/// The affinity forest reproduces the paper's level-1 families on the
+/// worked example: the best-neighbor forest connects the odd and even
+/// chains, and the cut severs the single weakest cross edge.
+TEST(Clustering, ForestMatchesFig9FirstLevel) {
+  auto chunks = fig8_chunks();
+  std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 2, chunks, nullptr, forest_options());
+  ASSERT_EQ(clusters.size(), 2u);
+  std::set<std::uint32_t> a(clusters[0].members.begin(),
+                            clusters[0].members.end());
+  std::set<std::uint32_t> b(clusters[1].members.begin(),
+                            clusters[1].members.end());
+  const std::set<std::uint32_t> odd{0, 2, 4, 6};
+  const std::set<std::uint32_t> even{1, 3, 5, 7};
+  EXPECT_TRUE((a == odd && b == even) || (a == even && b == odd));
+}
+
+TEST(Clustering, ForestReducesToTargetPreservingTotals) {
+  auto chunks = fig8_chunks();
+  std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 3, chunks, nullptr, forest_options());
+  ASSERT_EQ(clusters.size(), 3u);
+  std::uint64_t total = 0;
+  std::set<std::uint32_t> seen;
+  for (const auto& c : clusters) {
+    total += c.iterations;
+    seen.insert(c.members.begin(), c.members.end());
+  }
+  EXPECT_EQ(total, 64u);
+  EXPECT_EQ(seen.size(), 8u);  // every member survives exactly once
+}
+
+TEST(Clustering, ForestZeroSharingMergesRankAdjacent) {
+  // Disconnected graph: the forest has no edges at all, so the whole
+  // reduction runs through the rank-adjacent fallback.
+  std::vector<IterationChunk> chunks{
+      make_chunk(0, 0, 10, {0}),
+      make_chunk(0, 10, 20, {1}),
+      make_chunk(0, 20, 30, {2}),
+      make_chunk(0, 30, 40, {3}),
+  };
+  std::vector<std::uint32_t> all{0, 1, 2, 3};
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 2, chunks, nullptr, forest_options());
+  ASSERT_EQ(clusters.size(), 2u);
+  for (auto& c : clusters) std::sort(c.members.begin(), c.members.end());
+  const auto& a = clusters[0].members.front() == 0 ? clusters[0] : clusters[1];
+  EXPECT_EQ(a.members, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Clustering, ForestBalancedCutAvoidsGiantComponent) {
+  // A chain a0-a1-...-a63 (each adjacent pair shares one data chunk) is
+  // single-linkage's worst case: an uncapped cut would put everything in
+  // one component.  The balance-aware cut must keep both sides near
+  // half.
+  std::vector<IterationChunk> chunks;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    chunks.push_back(make_chunk(0, i * 10, (i + 1) * 10, {i, i + 1}));
+  }
+  std::vector<std::uint32_t> all(64);
+  for (std::uint32_t i = 0; i < 64; ++i) all[i] = i;
+  auto clusters = make_singletons(all, chunks);
+  cluster_to_count(clusters, 2, chunks, nullptr, forest_options());
+  ASSERT_EQ(clusters.size(), 2u);
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(640.0 / 2.0 * 1.1);
+  EXPECT_LE(clusters[0].iterations, cap);
+  EXPECT_LE(clusters[1].iterations, cap);
+}
+
+TEST(Clustering, AutoUsesGreedyBelowThresholdForestAbove) {
+  // kAuto must route small inputs to the greedy oracle: identical result
+  // to an explicit kGreedy run on the worked example.
+  auto chunks_auto = fig8_chunks();
+  auto chunks_greedy = fig8_chunks();
+  std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  auto auto_clusters = make_singletons(all, chunks_auto);
+  auto greedy_clusters = make_singletons(all, chunks_greedy);
+  ClusterOptions greedy;
+  greedy.algorithm = ClusterOptions::Algorithm::kGreedy;
+  cluster_to_count(auto_clusters, 3, chunks_auto);  // default: kAuto
+  cluster_to_count(greedy_clusters, 3, chunks_greedy, nullptr, greedy);
+  ASSERT_EQ(auto_clusters.size(), greedy_clusters.size());
+  for (std::size_t i = 0; i < auto_clusters.size(); ++i) {
+    EXPECT_EQ(auto_clusters[i].members, greedy_clusters[i].members);
+  }
+
+  // And a forest_threshold of 0 routes everything to the forest.
+  auto chunks_forest = fig8_chunks();
+  auto forest_clusters = make_singletons(all, chunks_forest);
+  ClusterOptions forced_auto;
+  forced_auto.forest_threshold = 0;
+  cluster_to_count(forest_clusters, 2, chunks_forest, nullptr, forced_auto);
+  ASSERT_EQ(forest_clusters.size(), 2u);
+}
+
 }  // namespace
 }  // namespace mlsc::core

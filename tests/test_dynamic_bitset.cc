@@ -122,5 +122,29 @@ TEST(DynamicBitsetProperty, AgreesWithReference) {
   }
 }
 
+/// Same property at widths that cross the vectorized and_count kernels'
+/// entry thresholds (AVX2 needs >= 8 words, NEON >= 4) — the narrow
+/// trials above never leave the scalar path.
+TEST(DynamicBitsetProperty, WideWidthsHitVectorKernels) {
+  Rng rng(2010);
+  for (const std::size_t size :
+       {256u, 511u, 512u, 513u, 2048u, 4096u, 8191u}) {
+    DynamicBitset a(size);
+    DynamicBitset b(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.next_double() < 0.3) a.set(i);
+      if (rng.next_double() < 0.3) b.set(i);
+    }
+    std::size_t both = 0;
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      both += a.test(i) && b.test(i);
+      diff += a.test(i) != b.test(i);
+    }
+    EXPECT_EQ(a.and_count(b), both);
+    EXPECT_EQ(a.hamming_distance(b), diff);
+  }
+}
+
 }  // namespace
 }  // namespace mlsc

@@ -123,6 +123,113 @@ TEST(ChunkGraph, LiftsOldNodeCap) {
   EXPECT_THROW(ChunkGraph(chunks, tight), Error);
 }
 
+std::vector<IterationChunk> random_chunks(std::size_t n, std::uint64_t seed,
+                                          std::size_t width, int bits) {
+  Rng rng(seed);
+  std::vector<IterationChunk> chunks;
+  chunks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint32_t> set;
+    for (int k = 0; k < bits; ++k) {
+      set.push_back(static_cast<std::uint32_t>(rng.next_below(width)));
+    }
+    chunks.push_back(
+        make_chunk(static_cast<std::uint64_t>(i) * 4, std::move(set)));
+  }
+  return chunks;
+}
+
+void expect_same_graph(const ChunkGraph& a, const ChunkGraph& b) {
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].a, b.edges()[i].a);
+    EXPECT_EQ(a.edges()[i].b, b.edges()[i].b);
+    EXPECT_EQ(a.edges()[i].weight, b.edges()[i].weight);
+  }
+}
+
+TEST(ChunkGraph, CandidateGenerationMatchesExactSweep) {
+  // With every filter off, the inverted-index path must produce the
+  // exact graph: a pair has nonzero weight iff it shares a data chunk,
+  // which is precisely co-occurrence in a posting list.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto chunks = random_chunks(400, seed, 96, 5);
+    const ChunkGraph candidate(chunks);
+    GraphOptions exact_options;
+    exact_options.exact = true;
+    const ChunkGraph exact(chunks, exact_options);
+    expect_same_graph(exact, candidate);
+    EXPECT_FALSE(candidate.stats().exact);
+    EXPECT_TRUE(exact.stats().exact);
+    EXPECT_EQ(exact.stats().scored_pairs, exact.stats().total_pairs);
+    EXPECT_LT(candidate.stats().scored_pairs,
+              candidate.stats().total_pairs);
+    EXPECT_EQ(candidate.stats().total_pairs, 400u * 399u / 2u);
+  }
+}
+
+TEST(ChunkGraph, BandingProducesSubgraphWithExactWeights) {
+  const auto chunks = random_chunks(300, 11, 64, 4);
+  const ChunkGraph exact(chunks);
+  GraphOptions banded_options;
+  banded_options.banding.bands = 4;
+  banded_options.banding.rows = 2;
+  const ChunkGraph banded(chunks, banded_options);
+
+  // Every banded edge exists in the exact graph with the same weight.
+  EXPECT_LE(banded.num_edges(), exact.num_edges());
+  for (const GraphEdge& e : banded.edges()) {
+    EXPECT_EQ(e.weight, exact.weight(e.a, e.b));
+  }
+  EXPECT_GT(banded.stats().banding_pruned, 0u);
+  EXPECT_EQ(banded.stats().scored_pairs + banded.stats().banding_pruned,
+            exact.stats().scored_pairs);
+}
+
+TEST(ChunkGraph, HotPostingCapProducesSubgraph) {
+  // One data chunk (bit 0) is shared by everyone; capping its posting
+  // list prunes pairs that share only it.
+  std::vector<IterationChunk> chunks;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    chunks.push_back(make_chunk(static_cast<std::uint64_t>(i) * 4,
+                                {0u, 1u + i / 2u}));
+  }
+  const ChunkGraph exact(chunks);
+  GraphOptions capped_options;
+  capped_options.hot_posting_cap = 8;
+  const ChunkGraph capped(chunks, capped_options);
+  EXPECT_EQ(capped.stats().hot_postings_skipped, 1u);
+  EXPECT_LT(capped.num_edges(), exact.num_edges());
+  for (const GraphEdge& e : capped.edges()) {
+    // Surviving pairs keep their exact weight (including the capped
+    // bit's contribution — only candidate *generation* skipped it).
+    EXPECT_EQ(e.weight, exact.weight(e.a, e.b));
+  }
+}
+
+TEST(ChunkGraph, CandidatePathParallelMatchesSerial) {
+  const auto chunks = random_chunks(500, 23, 128, 6);
+  const ChunkGraph serial(chunks);
+  ThreadPool pool(4);
+  GraphOptions options;
+  options.pool = &pool;
+  const ChunkGraph parallel(chunks, options);
+  expect_same_graph(serial, parallel);
+  EXPECT_EQ(serial.stats().scored_pairs, parallel.stats().scored_pairs);
+
+  // Banding keys are computed per chunk, so the pruned set is also
+  // thread-count-invariant.
+  GraphOptions banded;
+  banded.banding.bands = 4;
+  banded.banding.rows = 2;
+  const ChunkGraph banded_serial(chunks, banded);
+  banded.pool = &pool;
+  const ChunkGraph banded_parallel(chunks, banded);
+  expect_same_graph(banded_serial, banded_parallel);
+  EXPECT_EQ(banded_serial.stats().banding_pruned,
+            banded_parallel.stats().banding_pruned);
+}
+
 TEST(ChunkGraph, DotRendering) {
   std::vector<IterationChunk> chunks{
       make_chunk(0, {0, 1}),

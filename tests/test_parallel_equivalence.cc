@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/clustering.h"
 #include "core/graph.h"
 #include "core/mapper.h"
 #include "core/pipeline.h"
@@ -152,6 +153,45 @@ TEST(ParallelEquivalence, GraphAndMapperHandleMoreThan8192Chunks) {
       HierarchicalMapper(tree, parallel_options).map_chunks(chunks);
   EXPECT_EQ(serial.num_clients(), 4u);
   expect_identical(serial, parallel, "synthetic >8192");
+}
+
+// Forest-kernel determinism: the parallel affinity-forest clustering
+// (candidate scoring fan-out + Borůvka best-neighbor CAS races) must
+// produce member-identical clusters at every thread count.  Runs under
+// TSan via the concurrency label.
+TEST(ParallelEquivalence, ForestClusteringIsThreadCountInvariant) {
+  const std::size_t n = 3000;
+  const auto base_chunks = synthetic_chunks(n);
+  std::vector<std::uint32_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+
+  ClusterOptions options;
+  options.algorithm = ClusterOptions::Algorithm::kForest;
+
+  auto run = [&](std::size_t threads) {
+    auto chunks = base_chunks;
+    auto clusters = make_singletons(all, chunks);
+    if (threads <= 1) {
+      cluster_to_count(clusters, 16, chunks, nullptr, options);
+    } else {
+      ThreadPool pool(threads);
+      cluster_to_count(clusters, 16, chunks, &pool, options);
+    }
+    return clusters;
+  };
+
+  const auto serial = run(1);
+  ASSERT_EQ(serial.size(), 16u);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " cluster " +
+                   std::to_string(i));
+      EXPECT_EQ(serial[i].members, parallel[i].members);
+      EXPECT_EQ(serial[i].iterations, parallel[i].iterations);
+    }
+  }
 }
 
 // Faulted replay determinism: the engine is serial and the mapping is

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/client_codegen.h"
+#include "core/clustering.h"
 #include "core/pipeline.h"
 #include "support/check.h"
 #include "workloads/registry.h"
@@ -63,6 +64,36 @@ TEST(Pipeline, InterBalancesWithinThreshold) {
   MappingPipeline pipeline(tree, options);
   const auto m = pipeline.run_all(workload.program, space);
   EXPECT_LE(m.imbalance(), 0.11);
+}
+
+// Oracle identity: the default pipeline (candidate-generation graph,
+// kAuto clustering, no banding) must produce the same mapping as one
+// with the greedy merge forced — paper-scale workloads stay on the
+// oracle path, bit for bit.
+TEST(Pipeline, DefaultOptionsMatchGreedyOracle) {
+  const auto tree = small_tree();
+  for (const auto& name : workloads::workload_names()) {
+    const auto workload = tiny(name);
+    const DataSpace space(workload.program, 64 * kKiB);
+    PipelineOptions oracle_options;
+    oracle_options.clustering.algorithm = ClusterOptions::Algorithm::kGreedy;
+    const auto oracle =
+        MappingPipeline(tree, oracle_options).run_all(workload.program, space);
+    const auto current =
+        MappingPipeline(tree).run_all(workload.program, space);
+    ASSERT_EQ(oracle.client_work.size(), current.client_work.size()) << name;
+    for (std::size_t c = 0; c < oracle.client_work.size(); ++c) {
+      const auto& a = oracle.client_work[c];
+      const auto& b = current.client_work[c];
+      ASSERT_EQ(a.size(), b.size()) << name << " client " << c;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].chunk, b[i].chunk)
+            << name << " client " << c << " item " << i;
+        EXPECT_EQ(a[i].iterations, b[i].iterations)
+            << name << " client " << c << " item " << i;
+      }
+    }
+  }
 }
 
 TEST(Pipeline, RejectsEmptyNestList) {

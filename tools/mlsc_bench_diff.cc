@@ -4,14 +4,17 @@
 // Usage:
 //   mlsc_bench_diff <baseline.json> <current.json>
 //       [--det-threshold=F] [--time-threshold=F] [--hard-factor=F]
-//       [--all] [--csv] [--color|--no-color]
+//       [--assert-min=METRIC:VALUE]... [--all] [--csv]
+//       [--color|--no-color]
 //
-// Exit codes: 0 no regression, 1 soft regression(s), 2 hard
-// regression(s), 3 usage or parse error.
+// Exit codes: 0 no regression, 1 soft regression(s) or unmet
+// --assert-min, 2 hard regression(s), 3 usage or parse error.
 #include <unistd.h>
 
+#include <algorithm>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "obs/bench_diff.h"
 #include "support/argparse.h"
@@ -34,6 +37,14 @@ void print_usage(std::ostream& out, const char* argv0) {
          "0.30)\n"
       << "  --hard-factor=F     hard regression above F x threshold "
          "(default 2.0)\n"
+      << "  --assert-min=M:V    require flattened metric M >= V in the "
+         "*current*\n"
+      << "                      record (repeatable; unmet = soft fail). "
+         "For\n"
+      << "                      environment-dependent floors like "
+         "multicore\n"
+      << "                      speedups that a committed baseline can't "
+         "pin.\n"
       << "  --all               list every compared metric, not just "
          "deviations\n"
       << "  --csv               CSV output (implies no color)\n"
@@ -48,6 +59,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   obs::DiffOptions options;
+  std::vector<obs::MinAssertion> assertions;
   bool all = false;
   bool csv = false;
   bool color = isatty(STDOUT_FILENO) != 0;
@@ -63,6 +75,13 @@ int main(int argc, char** argv) {
         options.time_threshold = args.value_double();
       } else if (args.value_flag("--hard-factor")) {
         options.hard_factor = args.value_double();
+      } else if (args.value_flag("--assert-min")) {
+        obs::MinAssertion assertion;
+        if (!obs::parse_min_assertion(args.value(), &assertion)) {
+          throw UsageError("--assert-min: expected METRIC:VALUE, got '" +
+                           args.value() + "'");
+        }
+        assertions.push_back(std::move(assertion));
       } else if (args.flag("--all")) {
         all = true;
       } else if (args.flag("--csv")) {
@@ -114,7 +133,13 @@ int main(int argc, char** argv) {
                 << result.improvements << " improvement(s), "
                 << result.missing << " missing\n";
     }
-    return result.exit_code();
+
+    const std::vector<std::string> unmet =
+        obs::check_min_assertions(current, assertions);
+    for (const std::string& failure : unmet) {
+      std::cerr << failure << "\n";
+    }
+    return std::max(result.exit_code(), unmet.empty() ? 0 : 1);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 3;

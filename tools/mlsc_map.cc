@@ -62,6 +62,14 @@ void print_usage(std::ostream& out, const char* argv0) {
       << "  --size-factor F     workload data scale (default 1.0)\n"
       << "  --threads N         mapping-stage threads; 0 = all cores "
          "(default 1, result is identical for any value)\n"
+      << "  --cluster KIND      auto | greedy | forest: clustering kernel "
+         "(default auto)\n"
+      << "  --forest-threshold N  auto switches to the forest kernel at N "
+         "input clusters (default 8192)\n"
+      << "  --bands N --rows R  minhash banding for forest candidate "
+         "pruning (default off)\n"
+      << "  --hot-cap N         skip posting lists longer than N during "
+         "candidate generation (default 0 = off)\n"
       << "  --faults ARG        fault schedule: a JSON file or a spec "
          "string, e.g.\n"
       << "                      'fail@5ms:l2.0;transient@0:disk=0.01;"
@@ -158,6 +166,29 @@ int main(int argc, char** argv) {
         size_factor = args.value_double();
       } else if (args.value_flag("--threads")) {
         scheme.num_threads = args.value_u64();
+      } else if (args.value_flag("--cluster")) {
+        const std::string kind = args.value();
+        if (kind == "auto") {
+          scheme.clustering.algorithm = core::ClusterOptions::Algorithm::kAuto;
+        } else if (kind == "greedy") {
+          scheme.clustering.algorithm =
+              core::ClusterOptions::Algorithm::kGreedy;
+        } else if (kind == "forest") {
+          scheme.clustering.algorithm =
+              core::ClusterOptions::Algorithm::kForest;
+        } else {
+          throw UsageError("--cluster: unknown kernel '" + kind + "'");
+        }
+      } else if (args.value_flag("--forest-threshold")) {
+        scheme.clustering.forest_threshold = args.value_u64();
+      } else if (args.value_flag("--bands")) {
+        scheme.clustering.banding.bands =
+            static_cast<std::uint32_t>(args.value_u64());
+      } else if (args.value_flag("--rows")) {
+        scheme.clustering.banding.rows =
+            static_cast<std::uint32_t>(args.value_u64());
+      } else if (args.value_flag("--hot-cap")) {
+        scheme.clustering.hot_posting_cap = args.value_u64();
       } else if (args.value_flag("--faults")) {
         faults_arg = args.value();
       } else if (args.flag("--remap")) {
@@ -246,6 +277,7 @@ int main(int argc, char** argv) {
       options.schedule = scheme.schedule;
       options.scheduler = scheme.scheduler;
       options.balance_threshold = scheme.balance_threshold;
+      options.clustering = scheme.clustering;
       options.num_threads = scheme.num_threads;
       core::MappingPipeline pipeline(tree, options);
       const auto mapping = [&] {
