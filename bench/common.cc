@@ -11,12 +11,16 @@
 #include "obs/run_record.h"
 #include "obs/trace.h"
 #include "support/check.h"
+#include "support/dynamic_bitset.h"
 #include "support/log.h"
 #include "support/string_util.h"
 #include "support/units.h"
 
 #ifndef MLSC_BUILD_TYPE
 #define MLSC_BUILD_TYPE "unknown"
+#endif
+#ifndef MLSC_GIT_SHA
+#define MLSC_GIT_SHA "unknown"
 #endif
 
 namespace mlsc::bench {
@@ -31,6 +35,12 @@ struct JsonState {
   // Observability flags.
   std::string metrics_path;
   bool trace_started = false;
+  // Per-level bytes-moved vs. lower-bound rows, one triple per
+  // experiment run() executed; written as one "data movement" table so
+  // every bench binary's record carries headroom without per-binary
+  // plumbing.
+  Table movement{{"experiment", "level", "bytes_moved", "io_lower_bound",
+                  "headroom_pct"}};
 };
 
 JsonState& json_state() {
@@ -63,6 +73,8 @@ void parse_common_flags(int argc, char** argv) {
     }
   }
   state.record.build_type = MLSC_BUILD_TYPE;
+  state.record.git_sha = MLSC_GIT_SHA;
+  state.record.simd_level = DynamicBitset::simd_dispatch_level();
   state.record.hardware_threads = std::thread::hardware_concurrency();
   // Default machine description from uname; benches that print a header
   // overwrite it with the simulated machine config.  This keeps records
@@ -149,6 +161,9 @@ void record_phase(const std::string& name, double wall_ms) {
 void write_json_output() {
   JsonState& state = json_state();
   if (state.path.empty() || state.written) return;
+  if (state.movement.num_rows() > 0) {
+    state.record.tables.emplace_back("data movement", state.movement);
+  }
   state.record.include_metrics = mlsc::obs::metrics_enabled();
   if (!state.record.write_file(state.path)) return;
   state.written = true;
@@ -217,6 +232,16 @@ sim::ExperimentResult run(const workloads::Workload& workload,
                std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - start)
                    .count());
+  JsonState& state = json_state();
+  if (!state.path.empty()) {
+    for (const auto& row : result.movement) {
+      state.movement.add_row(
+          {workload.name + "/" + scheme.name(), row.level,
+           std::to_string(row.bytes_moved),
+           std::to_string(row.io_lower_bound),
+           format_double(row.headroom_pct, 2)});
+    }
+  }
   return result;
 }
 

@@ -55,7 +55,8 @@ MultiLevelCache::MultiLevelCache(const topology::HierarchyTree& tree,
     MLSC_CHECK(chunks > 0, "cache at " << node.name
                                        << " smaller than one chunk");
     base_chunks_[id] = chunks;
-    caches_[id] = std::make_unique<StorageCache>(node.name, chunks, policy);
+    caches_[id] = std::make_unique<StorageCache>(node.name, chunks, policy,
+                                                 chunk_size_);
     if (obs::metrics_enabled()) {
       caches_[id]->bind_metrics(metric_prefix(node.kind));
     }

@@ -11,12 +11,17 @@ CacheStats& CacheStats::operator+=(const CacheStats& other) {
   insertions += other.insertions;
   evictions += other.evictions;
   dirty_evictions += other.dirty_evictions;
+  bytes_served += other.bytes_served;
+  bytes_filled += other.bytes_filled;
   return *this;
 }
 
 StorageCache::StorageCache(std::string name, std::size_t capacity_chunks,
-                           PolicyKind policy)
-    : name_(std::move(name)), core_(make_policy(policy, capacity_chunks)) {}
+                           PolicyKind policy,
+                           std::uint64_t chunk_size_bytes)
+    : name_(std::move(name)),
+      chunk_size_bytes_(chunk_size_bytes),
+      core_(make_policy(policy, capacity_chunks)) {}
 
 void StorageCache::bind_metrics(const std::string& prefix) {
   if (!obs::metrics_enabled()) {
@@ -30,6 +35,8 @@ void StorageCache::bind_metrics(const std::string& prefix) {
   metrics_.insertions = &registry.counter(prefix + ".insertions");
   metrics_.evictions = &registry.counter(prefix + ".evictions");
   metrics_.dirty_evictions = &registry.counter(prefix + ".dirty_evictions");
+  metrics_.bytes_served = &registry.counter(prefix + ".bytes_served");
+  metrics_.bytes_filled = &registry.counter(prefix + ".bytes_filled");
 }
 
 bool StorageCache::access(ChunkId id) {
@@ -37,7 +44,11 @@ bool StorageCache::access(ChunkId id) {
   if (metrics_.accesses != nullptr) metrics_.accesses->inc();
   if (core_->touch(id)) {
     ++stats_.hits;
+    stats_.bytes_served += chunk_size_bytes_;
     if (metrics_.hits != nullptr) metrics_.hits->inc();
+    if (metrics_.bytes_served != nullptr) {
+      metrics_.bytes_served->add(chunk_size_bytes_);
+    }
     return true;
   }
   ++stats_.misses;
@@ -48,7 +59,11 @@ bool StorageCache::access(ChunkId id) {
 std::optional<StorageCache::Evicted> StorageCache::insert(ChunkId id) {
   auto evicted = core_->insert(id);
   ++stats_.insertions;
+  stats_.bytes_filled += chunk_size_bytes_;
   if (metrics_.insertions != nullptr) metrics_.insertions->inc();
+  if (metrics_.bytes_filled != nullptr) {
+    metrics_.bytes_filled->add(chunk_size_bytes_);
+  }
   if (!evicted.has_value()) return std::nullopt;
   ++stats_.evictions;
   if (metrics_.evictions != nullptr) metrics_.evictions->inc();

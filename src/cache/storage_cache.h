@@ -23,6 +23,11 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t dirty_evictions = 0;
+  /// Exact data movement at chunk granularity (zero when the cache was
+  /// built without a chunk size): bytes this cache served from residency
+  /// (hits) and bytes written into it (insertions).
+  std::uint64_t bytes_served = 0;
+  std::uint64_t bytes_filled = 0;
 
   double miss_rate() const {
     return accesses == 0
@@ -36,8 +41,10 @@ struct CacheStats {
 
 class StorageCache {
  public:
+  /// `chunk_size_bytes` sizes the bytes_served / bytes_filled stats;
+  /// 0 (callers that never read them) leaves them at zero.
   StorageCache(std::string name, std::size_t capacity_chunks,
-               PolicyKind policy);
+               PolicyKind policy, std::uint64_t chunk_size_bytes = 0);
 
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return core_->capacity(); }
@@ -94,9 +101,12 @@ class StorageCache {
     obs::Counter* insertions = nullptr;
     obs::Counter* evictions = nullptr;
     obs::Counter* dirty_evictions = nullptr;
+    obs::Counter* bytes_served = nullptr;
+    obs::Counter* bytes_filled = nullptr;
   };
 
   std::string name_;
+  std::uint64_t chunk_size_bytes_ = 0;
   std::unique_ptr<PolicyCore> core_;
   CacheStats stats_;
   std::unordered_set<ChunkId> dirty_;

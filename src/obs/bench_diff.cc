@@ -217,7 +217,15 @@ bool is_timing_metric(std::string_view name) {
 }
 
 bool is_guarded_metric(std::string_view name) {
-  return lowercase(name).find("reduction_ratio") != std::string::npos;
+  const std::string lower = lowercase(name);
+  // reduction_ratio: the similarity graph's pruning guarantee.
+  // headroom / io_lower_bound / bytes_moved: the data-movement
+  // observatory — the engine replay and the bound are both
+  // deterministic, so any drift is a real behaviour change.
+  return lower.find("reduction_ratio") != std::string::npos ||
+         lower.find("headroom") != std::string::npos ||
+         lower.find("io_lower_bound") != std::string::npos ||
+         lower.find("bytes_moved") != std::string::npos;
 }
 
 std::vector<FlatMetric> flatten_run_record(const JsonValue& record) {
@@ -235,6 +243,24 @@ std::size_t record_repetitions(const JsonValue& record) {
   if (reps == nullptr || !reps->is_number()) return 1;
   const double value = reps->as_number();
   return value >= 1.0 ? static_cast<std::size_t>(value) : 1;
+}
+
+std::string record_metadata_string(const JsonValue& record,
+                                   const std::string& key) {
+  const JsonValue* metadata = record.find("metadata");
+  if (metadata == nullptr) return "";
+  const JsonValue* value = metadata->find(key);
+  if (value == nullptr || !value->is_string()) return "";
+  return value->as_string();
+}
+
+std::string record_build_id(const JsonValue& record) {
+  auto field = [&](const char* key) {
+    const std::string value = record_metadata_string(record, key);
+    return value.empty() ? std::string("?") : value;
+  };
+  return "git " + field("git_sha") + ", simd " + field("simd_level") +
+         ", " + field("build_type");
 }
 
 int DiffResult::exit_code() const {

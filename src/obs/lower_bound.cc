@@ -1,0 +1,259 @@
+#include "obs/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mlsc::obs {
+namespace {
+
+using poly::ArrayRef;
+using poly::LoopNest;
+using poly::Program;
+
+/// Saturating multiply keeps footprint products from wrapping on
+/// adversarial extents; the bound only ever compares against measured
+/// traffic, so saturation is harmless.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+/// Lower bound on the distinct elements one direct reference touches
+/// over the nest's whole iteration space: group array dimensions that
+/// share an iterator, take the largest single-iterator extent within
+/// each group (varying that iterator alone already produces that many
+/// distinct index vectors), and multiply across independent groups.
+std::uint64_t ref_distinct_elements(const LoopNest& nest,
+                                    const ArrayRef& ref) {
+  const std::size_t rank = ref.map.rank();
+  if (rank == 0) return 1;
+  const std::size_t depth = nest.depth();
+
+  std::vector<std::size_t> parent(rank);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t d) {
+    while (parent[d] != d) d = parent[d] = parent[parent[d]];
+    return d;
+  };
+
+  // Per-dimension: the largest extent of any iterator it reads; union
+  // dimensions that read the same iterator.
+  std::vector<std::uint64_t> dim_value(rank, 1);
+  for (std::size_t k = 0; k < depth; ++k) {
+    const auto extent =
+        static_cast<std::uint64_t>(nest.space.loop(k).extent());
+    std::size_t first_dim = rank;  // first dim using iterator k
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (ref.map.expr(d).coeff(k) == 0) continue;
+      dim_value[d] = std::max(dim_value[d], extent);
+      if (first_dim == rank) {
+        first_dim = d;
+      } else {
+        parent[find(d)] = find(first_dim);
+      }
+    }
+  }
+
+  // Group value: dimensions coupled through shared iterators cannot be
+  // varied independently, so the group contributes only its max.
+  std::vector<std::uint64_t> group_value(rank, 0);
+  for (std::size_t d = 0; d < rank; ++d) {
+    std::size_t g = find(d);
+    group_value[g] = std::max(group_value[g], dim_value[d]);
+  }
+  std::uint64_t total = 1;
+  for (std::size_t d = 0; d < rank; ++d) {
+    if (find(d) == d) total = sat_mul(total, group_value[d]);
+  }
+  return total;
+}
+
+/// One deduplicated direct reference for the capacity term: which loops
+/// it reads (bitmask) and its element size.
+struct CoverRef {
+  std::uint64_t loop_mask = 0;
+  double element_bytes = 8.0;
+};
+
+std::vector<CoverRef> cover_refs(const Program& program,
+                                 const LoopNest& nest) {
+  std::vector<CoverRef> refs;
+  for (const ArrayRef& ref : nest.refs) {
+    if (ref.is_indirect()) continue;  // conservative: no cover credit
+    std::uint64_t mask = 0;
+    for (std::size_t d = 0; d < ref.map.rank(); ++d) {
+      for (std::size_t k = 0; k < nest.depth() && k < 64; ++k) {
+        if (ref.map.expr(d).coeff(k) != 0) mask |= std::uint64_t{1} << k;
+      }
+    }
+    CoverRef entry{mask, static_cast<double>(
+                             program.array(ref.array).element_size_bytes)};
+    bool duplicate = false;
+    for (const CoverRef& seen : refs) {
+      if (seen.loop_mask == entry.loop_mask &&
+          seen.element_bytes == entry.element_bytes) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) refs.push_back(entry);
+    // 2^16 subsets is the enumeration budget; dropping extra references
+    // only loosens the cover (their loops fall back to the uncovered
+    // multiplier), never invalidates it.
+    if (refs.size() >= 16) break;
+  }
+  return refs;
+}
+
+/// Smallest H(2M) over all reference subsets: the tightest iterations-
+/// per-segment cap any uniform-weight fractional cover yields.  Loops a
+/// subset leaves uncovered multiply H by their full extent (trivially an
+/// upper bound along that loop).  Returns H >= 1; `exponent_out` gets
+/// the winning subset's total weight |R|/c.
+double min_segment_capacity(const LoopNest& nest,
+                            const std::vector<CoverRef>& refs,
+                            double fast_bytes, double* exponent_out) {
+  const std::size_t depth = std::min<std::size_t>(nest.depth(), 64);
+  std::vector<double> extent(depth);
+  for (std::size_t k = 0; k < depth; ++k) {
+    extent[k] = static_cast<double>(nest.space.loop(k).extent());
+  }
+  auto uncovered_product = [&](std::uint64_t covered) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < depth; ++k) {
+      if ((covered & (std::uint64_t{1} << k)) == 0) p *= extent[k];
+    }
+    return p;
+  };
+
+  // The empty cover: every loop uncovered, H = T (capacity term 0).
+  double best = uncovered_product(0);
+  double best_exponent = 0.0;
+  const double segment_bytes = 2.0 * fast_bytes;
+
+  const std::size_t n = refs.size();
+  for (std::uint64_t subset = 1; subset < (std::uint64_t{1} << n);
+       ++subset) {
+    std::uint64_t covered = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (subset & (std::uint64_t{1} << r)) covered |= refs[r].loop_mask;
+    }
+    // Uniform weights 1/c are feasible when c is the subset's minimum
+    // per-loop cover count (every covered loop then gets weight >= 1).
+    std::uint64_t c_min = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t k = 0; k < depth; ++k) {
+      if ((covered & (std::uint64_t{1} << k)) == 0) continue;
+      std::uint64_t c = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        if ((subset & (std::uint64_t{1} << r)) &&
+            (refs[r].loop_mask & (std::uint64_t{1} << k))) {
+          ++c;
+        }
+      }
+      c_min = std::min(c_min, c);
+    }
+    if (covered == 0) continue;  // all-constant refs cover nothing
+    const double weight = 1.0 / static_cast<double>(c_min);
+    double h = uncovered_product(covered);
+    double exponent = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if ((subset & (std::uint64_t{1} << r)) == 0) continue;
+      // A segment holds at most 2M/e_r distinct elements of r (never
+      // fewer than one useful element, which keeps H an upper bound).
+      const double elements =
+          std::max(1.0, segment_bytes / refs[r].element_bytes);
+      h *= std::pow(elements, weight);
+      exponent += weight;
+    }
+    if (h < best) {
+      best = h;
+      best_exponent = exponent;
+    }
+  }
+  if (exponent_out != nullptr) *exponent_out = best_exponent;
+  return std::max(best, 1.0);
+}
+
+/// Hong-Kung segment bound for one nest at one boundary:
+/// Q >= M * (T / H(2M) - 1), clamped at zero.
+std::uint64_t nest_capacity_bytes(const LoopNest& nest,
+                                  const std::vector<CoverRef>& refs,
+                                  std::uint64_t fast_bytes) {
+  if (fast_bytes == 0 || nest.space.size() == 0 || refs.empty()) return 0;
+  const double m = static_cast<double>(fast_bytes);
+  const double h = min_segment_capacity(nest, refs, m, nullptr);
+  const double t = static_cast<double>(nest.space.size());
+  const double q = m * (t / h - 1.0);
+  if (q <= 0.0) return 0;
+  if (q >= static_cast<double>(std::numeric_limits<std::uint64_t>::max())) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(q);
+}
+
+}  // namespace
+
+IoLowerBound compute_io_lower_bound(const Program& program,
+                                    const std::vector<LevelSpec>& levels) {
+  IoLowerBound result;
+
+  // Compulsory term: per array, the largest per-nest distinct-element
+  // lower bound (the union across nests is at least any single nest's).
+  std::vector<std::uint64_t> array_elements(program.arrays.size(), 0);
+  for (const LoopNest& nest : program.nests) {
+    if (nest.space.size() == 0) continue;
+    for (const ArrayRef& ref : nest.refs) {
+      if (ref.is_indirect()) continue;
+      array_elements[ref.array] = std::max(
+          array_elements[ref.array],
+          std::min(ref_distinct_elements(nest, ref),
+                   program.array(ref.array).num_elements()));
+    }
+  }
+  for (std::size_t a = 0; a < program.arrays.size(); ++a) {
+    result.footprint_bytes +=
+        sat_mul(array_elements[a], program.arrays[a].element_size_bytes);
+  }
+
+  std::vector<std::vector<CoverRef>> nest_refs;
+  nest_refs.reserve(program.nests.size());
+  for (const LoopNest& nest : program.nests) {
+    nest_refs.push_back(cover_refs(program, nest));
+  }
+
+  for (const LevelSpec& level : levels) {
+    LevelBound bound;
+    bound.level = level.name;
+    bound.fast_memory_bytes = level.fast_memory_bytes;
+    bound.compulsory_bytes = result.footprint_bytes;
+    for (std::size_t i = 0; i < program.nests.size(); ++i) {
+      bound.capacity_bytes += nest_capacity_bytes(
+          program.nests[i], nest_refs[i], level.fast_memory_bytes);
+    }
+    bound.bound_bytes = std::max(bound.compulsory_bytes,
+                                 bound.capacity_bytes);
+    result.levels.push_back(std::move(bound));
+  }
+
+  // Diagnostics: the cover each nest settles on at the innermost level.
+  const double probe_bytes =
+      levels.empty() ? 0.0
+                     : static_cast<double>(levels.front().fast_memory_bytes);
+  for (std::size_t i = 0; i < program.nests.size(); ++i) {
+    NestCover cover;
+    cover.nest = program.nests[i].name;
+    cover.iterations = program.nests[i].space.size();
+    if (!nest_refs[i].empty() && probe_bytes > 0.0) {
+      min_segment_capacity(program.nests[i], nest_refs[i], probe_bytes,
+                           &cover.cover_exponent);
+    }
+    result.nests.push_back(std::move(cover));
+  }
+  return result;
+}
+
+}  // namespace mlsc::obs

@@ -1,0 +1,86 @@
+// Red-blue-pebble I/O lower bounds for rectangular affine loop nests.
+//
+// Answers "how many bytes *must* cross the boundary below each cache
+// level, no matter how the computation is mapped?" so measured traffic
+// can be reported as % of optimal instead of % better than a baseline
+// (ROADMAP "I/O lower-bound harness"; the derivation follows the
+// segment/S-partition argument of Hong & Kung as generalized in *On
+// Characterizing the Data Access Complexity of Programs*, PAPERS.md).
+//
+// Two terms per level, both computed from the poly IR alone:
+//
+//  * compulsory: every distinct byte a program touches starts on disk
+//    and must cross every boundary at least once.  The footprint is
+//    lower-bounded per reference from the access-map structure (product
+//    over independent dimension groups of the largest iterator extent).
+//
+//  * capacity (Hong-Kung): split any execution into segments that move
+//    exactly M bytes across the boundary (M = aggregate fast-memory
+//    bytes at or above the level).  A segment has at most 2M bytes of
+//    distinct data available, so per reference r at most 2M/e_r distinct
+//    elements; a fractional cover {x_r} of the loops by the references
+//    bounds the iterations a segment can execute by
+//    H(2M) = Prod_r (2M/e_r)^{x_r}, giving  Q >= M * (T / H(2M) - 1).
+//    The cover is found by enumerating reference subsets with uniform
+//    weights 1/c (c = the subset's minimum per-loop cover count) and
+//    keeping the subset that minimizes H — any feasible cover gives a
+//    valid (possibly loose) bound, so the enumeration never overstates.
+//
+// The reported bound per level is max(compulsory, capacity).  Loops no
+// direct reference indexes (pure temporal reuse) multiply H instead of
+// tightening it, and indirect (index-table) references are skipped
+// entirely — both keep the bound conservative (see DESIGN.md §16 for
+// where that looseness shows up).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/loop_nest.h"
+
+namespace mlsc::obs {
+
+/// One cache boundary: the level's name and the *aggregate* fast-memory
+/// capacity sitting at or above it (e.g. for the paper's machine, l2 =
+/// 64 client caches + 32 I/O-node caches).
+struct LevelSpec {
+  std::string name;
+  std::uint64_t fast_memory_bytes = 0;
+};
+
+/// The bound at one boundary, with both terms kept visible so reports
+/// can say which one is binding.
+struct LevelBound {
+  std::string level;
+  std::uint64_t fast_memory_bytes = 0;
+  std::uint64_t compulsory_bytes = 0;  // distinct-footprint term
+  std::uint64_t capacity_bytes = 0;    // Hong-Kung segment term
+  std::uint64_t bound_bytes = 0;       // max of the two
+};
+
+/// Per-nest diagnostics: which cover the enumeration picked (exponent
+/// s = sum of the winning subset's weights; 0 when the nest has no
+/// direct references and contributes only to the compulsory term).
+struct NestCover {
+  std::string nest;
+  std::uint64_t iterations = 0;
+  double cover_exponent = 0.0;
+};
+
+struct IoLowerBound {
+  /// Lower bound on the program's distinct footprint in bytes (the
+  /// compulsory term, identical at every level).
+  std::uint64_t footprint_bytes = 0;
+  std::vector<LevelBound> levels;   // one per input LevelSpec, same order
+  std::vector<NestCover> nests;     // one per program nest
+};
+
+/// Computes the per-level I/O lower bound for `program`.  `levels` must
+/// be ordered outermost-fastest first (l1, l2, l3) but the math treats
+/// each independently; a level with zero fast-memory bytes yields the
+/// trivial compulsory bound.
+IoLowerBound compute_io_lower_bound(const poly::Program& program,
+                                    const std::vector<LevelSpec>& levels);
+
+}  // namespace mlsc::obs

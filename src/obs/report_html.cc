@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -206,6 +207,79 @@ void html_table(std::ostream& out, const JsonValue& table,
   out << "</table>\n";
 }
 
+/// The "% of optimal" panel: every table column named *headroom_pct
+/// becomes one bar per row on an absolute 0-100 scale (100 = the run
+/// moved provably-minimal bytes across that boundary).  Covers both
+/// shapes the observatory emits: long-form tables with a "level" column
+/// (mlsc_map, bench data-movement) and wide-form tables with
+/// l1_/l2_/l3_headroom_pct columns (bench_headroom).
+void headroom_section(std::ostream& out, const JsonValue& record) {
+  const JsonValue* tables = record.find("tables");
+  if (tables == nullptr || !tables->is_array()) return;
+
+  std::vector<std::pair<std::string, double>> items;
+  for (const JsonValue& table : tables->as_array()) {
+    const JsonValue* header = table.find("header");
+    const JsonValue* rows = table.find("rows");
+    if (header == nullptr || rows == nullptr || !header->is_array() ||
+        !rows->is_array()) {
+      continue;
+    }
+    const auto& cols = header->as_array();
+    std::vector<std::size_t> headroom_cols;
+    std::size_t level_col = cols.size();
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const std::string name = cols[c].string_or("");
+      if (name.find("headroom_pct") != std::string::npos) {
+        headroom_cols.push_back(c);
+      } else if (name == "level") {
+        level_col = c;
+      }
+    }
+    if (headroom_cols.empty()) continue;
+
+    for (const JsonValue& row : rows->as_array()) {
+      const auto& cells = row.as_array();
+      if (cells.empty()) continue;
+      std::string base = cells[0].string_or("");
+      if (level_col != cols.size() && level_col != 0 &&
+          level_col < cells.size()) {
+        base += " " + cells[level_col].string_or("");
+      }
+      for (std::size_t c : headroom_cols) {
+        if (c >= cells.size()) continue;
+        const std::string cell = cells[c].string_or("");
+        char* end = nullptr;
+        const double value = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str()) continue;  // not a number
+        std::string label = base;
+        const std::string col = cols[c].string_or("");
+        if (col != "headroom_pct") {
+          // "l2_headroom_pct" -> "... l2"
+          label += " " + col.substr(0, col.find("_headroom_pct"));
+        }
+        items.emplace_back(std::move(label), value);
+      }
+    }
+  }
+  if (items.empty()) return;
+
+  out << "<section id=\"headroom\">\n<h2>I/O headroom (% of optimal)</h2>\n"
+      << "<p class=\"subtitle\">measured bytes crossing each cache "
+         "boundary vs. the red-blue-pebble I/O lower bound; 100% means "
+         "the run moved provably-minimal data</p>\n";
+  for (const auto& [label, value] : items) {
+    out << "<div class=\"bar-row\"><span class=\"bar-label\">"
+        << html_escape(label) << "</span><div class=\"bar-track\">"
+        << "<div class=\"bar\" style=\"width:" << pct(value / 100.0)
+        << "%\" title=\"" << html_escape(label) << ": "
+        << format_double(value, 2) << "% of optimal\"></div></div>"
+        << "<span class=\"bar-value\">" << format_double(value, 1)
+        << "%</span></div>\n";
+  }
+  out << "</section>\n";
+}
+
 void tables_section(std::ostream& out, const JsonValue& record) {
   const JsonValue* tables = record.find("tables");
   if (tables == nullptr || !tables->is_array() ||
@@ -239,6 +313,8 @@ void histogram_chart(std::ostream& out, const std::string& name,
     items.emplace_back(label, count_array[i].number_or(0.0));
   }
   out << "<h3>" << html_escape(name) << "</h3>\n";
+  // Empty histograms have NaN quantiles (written as JSON null): render
+  // them as "—", not as a number, and skip the zero-width bucket bars.
   if (const JsonValue* quantiles = hist.find("quantiles")) {
     if (quantiles->is_object()) {
       std::vector<std::string> parts;
@@ -246,7 +322,7 @@ void histogram_chart(std::ostream& out, const std::string& name,
         parts.push_back(q + " = " +
                         (value.is_number()
                              ? format_double(value.as_number(), 1)
-                             : std::string("n/a")));
+                             : std::string("—")));
       }
       out << "<p class=\"meta\">" << html_escape(join(parts, ", "))
           << "</p>\n";
@@ -255,6 +331,10 @@ void histogram_chart(std::ostream& out, const std::string& name,
   double max_count = 0.0;
   for (const auto& [label, count] : items) {
     max_count = std::max(max_count, count);
+  }
+  if (max_count <= 0.0) {
+    out << "<p class=\"meta\">&mdash; no observations</p>\n";
+    return;
   }
   for (const auto& [label, count] : items) {
     const double frac = max_count > 0.0 ? count / max_count : 0.0;
@@ -415,6 +495,7 @@ std::string render_html_report(const JsonValue& record,
          "</p>\n";
   metadata_section(out, record);
   phases_section(out, record);
+  headroom_section(out, record);
   tables_section(out, record);
   metrics_section(out, record);
   if (trace != nullptr) stall_section(out, *trace);

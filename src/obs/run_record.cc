@@ -25,6 +25,14 @@ void RunRecord::write_json(std::ostream& out) const {
       << ", \"build_type\": ";
   write_json_string(out, build_type);
   out << ", \"repetitions\": " << repetitions;
+  if (!git_sha.empty()) {
+    out << ", \"git_sha\": ";
+    write_json_string(out, git_sha);
+  }
+  if (!simd_level.empty()) {
+    out << ", \"simd_level\": ";
+    write_json_string(out, simd_level);
+  }
   if (has_seed) out << ", \"seed\": " << seed;
   out << "},\n \"phases\": [";
   for (std::size_t i = 0; i < phases.size(); ++i) {

@@ -105,6 +105,8 @@ EngineResult run_engine(const Trace& trace,
   }
 
   EngineResult result;
+  result.client_demand_bytes.assign(num_clients, 0);
+  const std::uint64_t chunk_bytes = config.chunk_size_bytes;
 
   // Per-client virtual timelines: one trace process per simulated client
   // (pid kClientPidBase + c), timestamped in simulated nanoseconds.  Each
@@ -241,6 +243,7 @@ EngineResult run_engine(const Trace& trace,
       for (std::uint32_t w = 0; w < hit.writebacks_to_disk; ++w) {
         charge_disk_async(access.chunk, io::SeekClass::kNear);
         ++result.disk_writebacks;
+        result.bytes.writeback += chunk_bytes;
       }
 
       // Failed caches on the path each cost a failover-detection penalty
@@ -269,6 +272,8 @@ EngineResult run_engine(const Trace& trace,
         }
         result.time_peer_cache += latency;
         ++result.peer_hits;
+        result.bytes.from_peer += chunk_bytes;
+        result.client_demand_bytes[c] += chunk_bytes;
         stall = "peer hit";
       } else if (!hit.from_disk()) {
         const std::uint32_t hops =
@@ -282,13 +287,19 @@ EngineResult run_engine(const Trace& trace,
         }
         if (hit.hit_node == client_node) {
           result.time_client_cache += latency;
+          result.bytes.from_l1 += chunk_bytes;
           stall = "l1 hit";
         } else {
           if (faults != nullptr) error_rate = faults->net_error_rate();
           result.time_shared_cache += latency;
-          stall = tree.node(hit.hit_node).kind == topology::NodeKind::kIo
-                      ? "l2 hit"
-                      : "l3 hit";
+          result.client_demand_bytes[c] += chunk_bytes;
+          if (tree.node(hit.hit_node).kind == topology::NodeKind::kIo) {
+            result.bytes.from_l2 += chunk_bytes;
+            stall = "l2 hit";
+          } else {
+            result.bytes.from_l3 += chunk_bytes;
+            stall = "l3 hit";
+          }
         }
       } else {
         const std::size_t sn = striping.storage_node_of_chunk(access.chunk);
@@ -308,6 +319,8 @@ EngineResult run_engine(const Trace& trace,
         result.time_disk += latency;
         result.time_disk_queue += queue_delay;
         ++result.disk_requests;
+        result.bytes.from_disk += chunk_bytes;
+        result.client_demand_bytes[c] += chunk_bytes;
 
         // Sequential readahead: pull the next chunks into the client's
         // path asynchronously.
@@ -322,9 +335,11 @@ EngineResult run_engine(const Trace& trace,
           for (std::uint32_t w = 0; w < flushes; ++w) {
             charge_disk_async(next_chunk, io::SeekClass::kNear);
             ++result.disk_writebacks;
+            result.bytes.writeback += chunk_bytes;
           }
           charge_disk_async(next_chunk, io::SeekClass::kSequential);
           ++result.prefetches;
+          result.bytes.prefetch += chunk_bytes;
         }
       }
       // Transient errors: each failed attempt wastes the service latency
@@ -419,6 +434,14 @@ EngineResult run_engine(const Trace& trace,
   }
 
   MLSC_COUNTER_ADD("engine.accesses", result.accesses);
+  MLSC_COUNTER_ADD("engine.bytes_moved", result.bytes.below_l1());
+  MLSC_COUNTER_ADD("engine.bytes_from_l1", result.bytes.from_l1);
+  MLSC_COUNTER_ADD("engine.bytes_from_l2", result.bytes.from_l2);
+  MLSC_COUNTER_ADD("engine.bytes_from_l3", result.bytes.from_l3);
+  MLSC_COUNTER_ADD("engine.bytes_from_peer", result.bytes.from_peer);
+  MLSC_COUNTER_ADD("engine.bytes_from_disk", result.bytes.from_disk);
+  MLSC_COUNTER_ADD("engine.bytes_prefetch", result.bytes.prefetch);
+  MLSC_COUNTER_ADD("engine.bytes_writeback", result.bytes.writeback);
   MLSC_COUNTER_ADD("engine.disk_requests", result.disk_requests);
   MLSC_COUNTER_ADD("engine.disk_writebacks", result.disk_writebacks);
   MLSC_COUNTER_ADD("engine.peer_hits", result.peer_hits);

@@ -19,6 +19,47 @@ class FaultInjector;
 
 namespace mlsc::sim {
 
+/// Exact bytes-moved accounting at chunk granularity: where each access
+/// was served from, plus the asynchronous traffic (prefetch fills and
+/// dirty write-backs).  The boundary helpers give the bytes that crossed
+/// the boundary *below* each cache level — the quantity the per-level
+/// I/O lower bound (obs/lower_bound.h) is compared against.  Peer (
+/// cooperative sibling) transfers stay inside the L1 aggregate, so they
+/// appear in `from_peer` but cross no boundary.
+struct BytesMoved {
+  std::uint64_t from_l1 = 0;    // served by the client's own cache
+  std::uint64_t from_l2 = 0;    // served by an I/O-node cache
+  std::uint64_t from_l3 = 0;    // served by a storage-node cache
+  std::uint64_t from_peer = 0;  // served by a sibling client cache
+  std::uint64_t from_disk = 0;  // demand misses serviced by disk
+  std::uint64_t prefetch = 0;   // readahead chunks pulled from disk
+  std::uint64_t writeback = 0;  // dirty chunks flushed to disk
+
+  /// Bytes that crossed the boundary below the L1 (client-cache) layer.
+  std::uint64_t below_l1() const {
+    return from_l2 + from_l3 + from_disk + prefetch + writeback;
+  }
+  /// Below the L2 (I/O-node) layer.
+  std::uint64_t below_l2() const {
+    return from_l3 + from_disk + prefetch + writeback;
+  }
+  /// Below the L3 (storage-node) layer: disk traffic only.
+  std::uint64_t below_l3() const {
+    return from_disk + prefetch + writeback;
+  }
+
+  BytesMoved& operator+=(const BytesMoved& other) {
+    from_l1 += other.from_l1;
+    from_l2 += other.from_l2;
+    from_l3 += other.from_l3;
+    from_peer += other.from_peer;
+    from_disk += other.from_disk;
+    prefetch += other.prefetch;
+    writeback += other.writeback;
+    return *this;
+  }
+};
+
 struct EngineResult {
   cache::CacheStats l1;  // compute-node caches, aggregated
   cache::CacheStats l2;  // I/O-node caches
@@ -39,6 +80,13 @@ struct EngineResult {
   Nanoseconds time_disk_queue = 0;    // of which: waiting in disk queues
   Nanoseconds time_retry = 0;         // transient-error attempts + backoff
   Nanoseconds time_failover = 0;      // detecting/skirting failed caches
+
+  /// Aggregated data movement, plus each client's share of the demand
+  /// traffic it pulled from beyond its private cache (peer + L2 + L3 +
+  /// disk bytes; prefetch and write-back traffic is asynchronous and
+  /// only appears in the aggregate).
+  BytesMoved bytes;
+  std::vector<std::uint64_t> client_demand_bytes;
 
   std::uint64_t accesses = 0;
   std::uint64_t disk_requests = 0;

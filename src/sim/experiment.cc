@@ -93,7 +93,40 @@ ExperimentResult run_experiment(const workloads::Workload& workload,
   result.exec_time = engine.exec_time;
   result.engine = engine;
   result.sync_edges = mapping.sync_edges.size();
+  result.movement = movement_vs_bound(workload, config, engine);
   return result;
+}
+
+std::vector<obs::LevelSpec> machine_level_specs(
+    const MachineConfig& config) {
+  const std::uint64_t l1_total = config.clients * config.client_cache_bytes;
+  const std::uint64_t l2_total =
+      l1_total + config.io_nodes * config.io_cache_bytes;
+  const std::uint64_t l3_total =
+      l2_total + config.storage_nodes * config.storage_cache_bytes;
+  return {{"l1", l1_total}, {"l2", l2_total}, {"l3", l3_total}};
+}
+
+std::vector<LevelMovement> movement_vs_bound(
+    const workloads::Workload& workload, const MachineConfig& config,
+    const EngineResult& engine) {
+  const auto specs = machine_level_specs(config);
+  const auto bound = obs::compute_io_lower_bound(workload.program, specs);
+  const std::uint64_t moved[3] = {engine.bytes.below_l1(),
+                                  engine.bytes.below_l2(),
+                                  engine.bytes.below_l3()};
+  std::vector<LevelMovement> movement;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    LevelMovement row;
+    row.level = specs[i].name;
+    row.fast_memory_bytes = specs[i].fast_memory_bytes;
+    row.bytes_moved = moved[i];
+    row.io_lower_bound = bound.levels[i].bound_bytes;
+    row.headroom_pct =
+        LevelMovement::headroom(row.io_lower_bound, row.bytes_moved);
+    movement.push_back(std::move(row));
+  }
+  return movement;
 }
 
 double normalized(double value, double original) {

@@ -54,6 +54,20 @@ std::vector<std::pair<std::string, Table>> report_tables(
   if (e.time_failover > 0) stall_row("failover detection", e.time_failover);
   tables.emplace_back("io stall breakdown", std::move(where));
 
+  // Measured boundary traffic vs. the red-blue-pebble lower bound.
+  // Column names are stable metric keys for the bench diff: the
+  // headroom_pct column is guarded (drift hard-fails, DESIGN.md §16).
+  if (!result.movement.empty()) {
+    Table movement({"level", "bytes_moved", "io_lower_bound",
+                    "headroom_pct"});
+    for (const auto& row : result.movement) {
+      movement.add_row({row.level, std::to_string(row.bytes_moved),
+                        std::to_string(row.io_lower_bound),
+                        format_double(row.headroom_pct, 2)});
+    }
+    tables.emplace_back("data movement", std::move(movement));
+  }
+
   if (e.faults_applied > 0) {
     Table faults({"fault metric", "value"});
     faults.add_row({"schedule events applied",
@@ -102,7 +116,7 @@ void write_report(std::ostream& out, const ExperimentResult& result,
   out << "\n";
   tables[1].second.print(out);  // io stall breakdown
   for (const auto& [title, table] : tables) {
-    if (title == "resilience") {
+    if (title == "resilience" || title == "data movement") {
       out << "\n";
       table.print(out);
     }

@@ -94,6 +94,16 @@ std::size_t DynamicBitset::count() const {
   return total;
 }
 
+const char* DynamicBitset::simd_dispatch_level() {
+#if defined(MLSC_BITSET_X86_DISPATCH)
+  return cpu_has_avx2() ? "avx2" : "portable";
+#elif defined(MLSC_BITSET_NEON)
+  return "neon";
+#else
+  return "portable";
+#endif
+}
+
 std::size_t DynamicBitset::and_count(const DynamicBitset& other) const {
   check_same_size(other);
   // This is the inner loop of similarity scoring (candidate pairs,

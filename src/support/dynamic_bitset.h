@@ -49,6 +49,11 @@ class DynamicBitset {
   /// This is the paper's edge weight between two iteration-chunk tags.
   std::size_t and_count(const DynamicBitset& other) const;
 
+  /// The SIMD kernel and_count dispatches to on this machine: "avx2",
+  /// "neon" or "portable".  Stamped into run-record metadata so
+  /// baselines recorded on different hardware are distinguishable.
+  static const char* simd_dispatch_level();
+
   /// Number of positions where the bitsets differ (Hamming distance).
   std::size_t hamming_distance(const DynamicBitset& other) const;
 

@@ -197,6 +197,50 @@ TEST(BenchDiff, GuardedMetricHasNoSoftBand) {
   }
 }
 
+TEST(BenchDiff, HeadroomAndMovementMetricsAreGuarded) {
+  // The headroom observatory's columns are deterministic by
+  // construction (simulated byte counts vs. an analytic bound), so any
+  // drift is a hard regression — no soft band, same as reduction_ratio.
+  EXPECT_TRUE(is_guarded_metric("tables.headroom[sar].l2_headroom_pct"));
+  EXPECT_TRUE(is_guarded_metric("tables.headroom[hf].l1_bytes_moved"));
+  EXPECT_TRUE(is_guarded_metric("tables.headroom[hf].l3_io_lower_bound"));
+  EXPECT_TRUE(
+      is_guarded_metric("tables.data movement[l2].io_lower_bound"));
+  EXPECT_FALSE(is_guarded_metric("tables.data movement[l2].wall_ms"));
+  EXPECT_FALSE(is_guarded_metric("counters.engine.bytes_prefetch"));
+
+  const std::string base_text =
+      patched("\"g.load\": 0.5",
+              "\"g.load\": 0.5, \"engine.l2_headroom_pct\": 91.0");
+  const std::string drifted_text =
+      patched("\"g.load\": 0.5",
+              "\"g.load\": 0.5, \"engine.l2_headroom_pct\": 90.8");
+  const DiffResult result =
+      diff_run_records(parse_json(base_text), parse_json(drifted_text));
+  EXPECT_EQ(result.exit_code(), 2);
+  for (const auto& d : result.deltas) {
+    if (d.name == "gauges.engine.l2_headroom_pct") {
+      EXPECT_EQ(d.verdict, Verdict::kHardRegression);
+    }
+  }
+}
+
+TEST(BenchDiff, RecordBuildIdFromMetadata) {
+  const std::string text = patched(
+      "\"build_type\": \"Release\"",
+      "\"build_type\": \"Release\", \"git_sha\": \"abc123def456\", "
+      "\"simd_level\": \"avx2\"");
+  const JsonValue record = parse_json(text);
+  EXPECT_EQ(record_metadata_string(record, "git_sha"), "abc123def456");
+  EXPECT_EQ(record_metadata_string(record, "simd_level"), "avx2");
+  EXPECT_EQ(record_metadata_string(record, "no_such_key"), "");
+  EXPECT_EQ(record_build_id(record), "git abc123def456, simd avx2, Release");
+
+  // Records that predate the stamps degrade to "?" placeholders.
+  const JsonValue legacy = parse_json(kRecord);
+  EXPECT_EQ(record_build_id(legacy), "git ?, simd ?, Release");
+}
+
 TEST(BenchDiff, ParseMinAssertion) {
   MinAssertion a;
   ASSERT_TRUE(parse_min_assertion("tables.scaling[1024/2].map_speedup:1.3", &a));

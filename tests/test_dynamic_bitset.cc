@@ -14,6 +14,14 @@ TEST(DynamicBitset, StartsCleared) {
   for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
 }
 
+TEST(DynamicBitset, SimdDispatchLevelIsAKnownName) {
+  // The level is stamped into run-record metadata so baselines recorded
+  // on different hardware are distinguishable in mlsc_bench_diff.
+  const std::string level = DynamicBitset::simd_dispatch_level();
+  EXPECT_TRUE(level == "avx2" || level == "neon" || level == "portable")
+      << level;
+}
+
 TEST(DynamicBitset, SetAndClear) {
   DynamicBitset b(70);
   b.set(0);

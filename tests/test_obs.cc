@@ -13,6 +13,7 @@
 
 #include "core/pipeline.h"
 #include "obs/metrics.h"
+#include "obs/run_record.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
@@ -230,6 +231,40 @@ TEST(Metrics, CacheCountersMatchEngineResult) {
   // The latency histogram saw every access.
   EXPECT_EQ(registry.histogram("engine.access_latency_ns", {}).total_count(),
             engine.accesses);
+
+  // Byte accounting mirrors into the registry and into the per-cache
+  // stats: the aggregate bytes-moved counter is the boundary sum, and
+  // each level's bytes_served matches its hit count at chunk size.
+  EXPECT_EQ(registry.counter("engine.bytes_moved").value(),
+            engine.bytes.below_l1());
+  EXPECT_EQ(registry.counter("engine.bytes_from_disk").value(),
+            engine.bytes.from_disk);
+  EXPECT_EQ(engine.l1.bytes_served,
+            engine.l1.hits * config.chunk_size_bytes);
+  EXPECT_EQ(registry.counter("cache.l2.bytes_served").value(),
+            engine.l2.bytes_served);
+  EXPECT_GT(engine.bytes.below_l1(), 0u);
+}
+
+TEST(RunRecordJson, CarriesBuildStampsWhenSet) {
+  obs::RunRecord record;
+  record.binary = "bench_test";
+  record.build_type = "Release";
+  record.git_sha = "abc123def456";
+  record.simd_level = "portable";
+  std::ostringstream out;
+  record.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"git_sha\": \"abc123def456\""), std::string::npos);
+  EXPECT_NE(json.find("\"simd_level\": \"portable\""), std::string::npos);
+
+  // Unset stamps are omitted, keeping legacy records byte-identical.
+  obs::RunRecord legacy;
+  legacy.binary = "bench_test";
+  std::ostringstream legacy_out;
+  legacy.write_json(legacy_out);
+  EXPECT_EQ(legacy_out.str().find("git_sha"), std::string::npos);
+  EXPECT_EQ(legacy_out.str().find("simd_level"), std::string::npos);
 }
 
 TEST(HistogramQuantile, EmptyHistogramIsNaN) {

@@ -123,6 +123,57 @@ TEST(ReportHtml, StallSectionAggregatesPerClient) {
   }
 }
 
+TEST(ReportHtml, HeadroomPanelRendersPercentOfOptimalBars) {
+  // A record carrying headroom_pct columns (bench_headroom /
+  // mlsc_headroom output) gets the dedicated "% of optimal" panel with
+  // one absolute-scale bar per (row, level) pair.
+  const char* record_text = R"json({
+    "schema": "mlsc-run-record-v1",
+    "binary": "bench_headroom",
+    "tables": [
+      {"title": "headroom",
+       "header": ["workload", "l1_bytes_moved", "l1_io_lower_bound",
+                  "l1_headroom_pct", "l2_bytes_moved", "l2_io_lower_bound",
+                  "l2_headroom_pct"],
+       "rows": [["sar", "4096", "2048", "50.00", "2048", "2048",
+                 "100.00"]]}
+    ]
+  })json";
+  const std::string html = render_html_report(parse_json(record_text));
+  EXPECT_NE(html.find("id=\"headroom\""), std::string::npos);
+  EXPECT_NE(html.find("% of optimal"), std::string::npos);
+  EXPECT_NE(html.find("sar l1"), std::string::npos);
+  EXPECT_NE(html.find("sar l2"), std::string::npos);
+  for (const char* tag : {"section", "div", "table"}) {
+    expect_balanced(html, tag);
+  }
+
+  // No headroom columns anywhere: no panel.
+  const std::string plain = render_html_report(parse_json(kRecord));
+  EXPECT_EQ(plain.find("id=\"headroom\""), std::string::npos);
+}
+
+TEST(ReportHtml, EmptyHistogramRendersDashNotZeroBars) {
+  const char* record_text = R"json({
+    "schema": "mlsc-run-record-v1",
+    "binary": "bench_test",
+    "metrics": {
+      "counters": {}, "gauges": {},
+      "histograms": {
+        "engine.access_latency_ns": {
+          "bounds": [100, 1000], "counts": [0, 0, 0], "count": 0,
+          "sum": 0,
+          "quantiles": {"p50": null, "p90": null, "p99": null}}
+      }
+    }
+  })json";
+  const std::string html = render_html_report(parse_json(record_text));
+  // Quantiles of an empty histogram show as an em-dash, never "0".
+  EXPECT_NE(html.find("&mdash;"), std::string::npos);
+  EXPECT_EQ(html.find("p50: 0"), std::string::npos);
+  EXPECT_NE(html.find("no observations"), std::string::npos);
+}
+
 TEST(ReportHtml, EmptyRecordStillRenders) {
   const JsonValue record = parse_json(R"({"schema": "mlsc-run-record-v1"})");
   const std::string html = render_html_report(record);

@@ -30,12 +30,16 @@
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "support/argparse.h"
+#include "support/dynamic_bitset.h"
 #include "support/log.h"
 #include "support/string_util.h"
 #include "support/table.h"
 #include "workloads/irregular.h"
 #include "workloads/registry.h"
 
+#ifndef MLSC_GIT_SHA
+#define MLSC_GIT_SHA "unknown"
+#endif
 #ifndef MLSC_BUILD_TYPE
 #define MLSC_BUILD_TYPE "unknown"
 #endif
@@ -251,6 +255,8 @@ int main(int argc, char** argv) {
   record.machine = machine.to_string();
   record.apps = {workload_name};
   record.build_type = MLSC_BUILD_TYPE;
+  record.git_sha = MLSC_GIT_SHA;
+  record.simd_level = DynamicBitset::simd_dispatch_level();
   record.hardware_threads = std::thread::hardware_concurrency();
   auto write_record = [&] {
     if (json_path.empty()) return;
