@@ -3,6 +3,7 @@
 #include <sys/utsname.h>
 
 #include <chrono>
+#include <iostream>
 #include <cstdlib>
 #include <thread>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/run_record.h"
 #include "obs/trace.h"
+#include "support/argparse.h"
 #include "support/check.h"
 #include "support/dynamic_bitset.h"
 #include "support/log.h"
@@ -85,48 +87,25 @@ void parse_common_flags(int argc, char** argv) {
     state.record.machine = std::string(uts.sysname) + " " + uts.release +
                            " " + uts.machine;
   }
-  std::string trace_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      state.path = arg.substr(std::string("--json=").size());
-      if (state.path.empty()) {
-        std::cerr << "error: --json needs a path: --json=<path>\n";
-        std::exit(2);
-      }
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(std::string("--trace=").size());
-      if (trace_path.empty()) {
-        std::cerr << "error: --trace needs a path: --trace=<path>\n";
-        std::exit(2);
-      }
-    } else if (arg.rfind("--metrics=", 0) == 0) {
-      state.metrics_path = arg.substr(std::string("--metrics=").size());
-      if (state.metrics_path.empty()) {
-        std::cerr << "error: --metrics needs a path: --metrics=<path>\n";
-        std::exit(2);
-      }
-    } else if (arg.rfind("--reps=", 0) == 0) {
-      const std::string value = arg.substr(std::string("--reps=").size());
-      char* end = nullptr;
-      const unsigned long reps = std::strtoul(value.c_str(), &end, 10);
-      if (value.empty() || end != value.c_str() + value.size() || reps < 1) {
-        std::cerr << "error: --reps needs a positive count: --reps=<n>\n";
-        std::exit(2);
-      }
-      state.repetitions = reps;
-    } else if (arg.rfind("--log-level=", 0) == 0) {
-      const std::string name = arg.substr(std::string("--log-level=").size());
-      LogLevel level;
-      if (!parse_log_level(name, &level)) {
-        std::cerr << "error: --log-level must be "
-                     "debug|info|warn|error|off, got \""
-                  << name << "\"\n";
-        std::exit(2);
-      }
-      set_log_level(level);
+  // Shared flag mechanics (support/argparse): --flag=value and
+  // "--flag value" both work; anything not a shared flag is left alone
+  // for the binary (bench binaries take no other arguments).
+  CommonToolOptions common;
+  common.accept_reps = true;
+  try {
+    ArgParser args(argc, argv);
+    while (args.next()) {
+      if (!common.match(args)) continue;
     }
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n"
+              << CommonToolOptions::usage(/*with_reps=*/true);
+    std::exit(kUsageExitCode);
   }
+  state.path = common.json_path;
+  state.metrics_path = common.metrics_path;
+  state.repetitions = common.repetitions;
+  const std::string trace_path = common.trace_path;
   state.record.repetitions = state.repetitions;
   if (!state.path.empty()) std::atexit(write_json_output);
   if (!trace_path.empty()) {

@@ -222,10 +222,16 @@ bool is_guarded_metric(std::string_view name) {
   // headroom / io_lower_bound / bytes_moved: the data-movement
   // observatory — the engine replay and the bound are both
   // deterministic, so any drift is a real behaviour change.
+  // work_ratio / _pairs: the serve delta-vs-full mapping-work counts
+  // (bench_churn) — counted, not timed, so exact.
+  // _decisions: the serve policy's decision mix over a fixed script.
   return lower.find("reduction_ratio") != std::string::npos ||
          lower.find("headroom") != std::string::npos ||
          lower.find("io_lower_bound") != std::string::npos ||
-         lower.find("bytes_moved") != std::string::npos;
+         lower.find("bytes_moved") != std::string::npos ||
+         lower.find("work_ratio") != std::string::npos ||
+         lower.find("_pairs") != std::string::npos ||
+         lower.find("_decisions") != std::string::npos;
 }
 
 std::vector<FlatMetric> flatten_run_record(const JsonValue& record) {

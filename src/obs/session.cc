@@ -1,0 +1,21 @@
+#include "obs/session.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mlsc::obs {
+
+ObsScope::ObsScope(std::string trace_path, std::string metrics_path,
+                   bool force_metrics)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) start_trace(trace_path_);
+  if (!metrics_path_.empty() || force_metrics) set_metrics_enabled(true);
+}
+
+ObsScope::~ObsScope() {
+  if (!trace_path_.empty()) stop_trace();
+  if (!metrics_path_.empty()) write_metrics_file(metrics_path_);
+}
+
+}  // namespace mlsc::obs

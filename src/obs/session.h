@@ -1,0 +1,35 @@
+// RAII observability session for tool main()s.
+//
+// Every mlsc binary that honors the shared --trace/--metrics flags
+// (support/argparse CommonToolOptions) needs the same bracketing: start
+// the trace session and enable metric recording up front, then flush
+// both on every exit path.  ObsScope is that bracket — construct it once
+// after argument parsing and the trace file and metrics dump are written
+// no matter how main() unwinds.
+#pragma once
+
+#include <string>
+
+namespace mlsc::obs {
+
+class ObsScope {
+ public:
+  /// Starts a trace session when `trace_path` is non-empty and enables
+  /// metric recording when `metrics_path` is non-empty (or when
+  /// `force_metrics` asks for live metrics without a dump file, e.g. a
+  /// Prometheus polling endpoint).
+  explicit ObsScope(std::string trace_path, std::string metrics_path,
+                    bool force_metrics = false);
+
+  /// Stops the trace and writes the metrics dump (when requested).
+  ~ObsScope();
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace mlsc::obs

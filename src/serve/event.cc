@@ -1,0 +1,228 @@
+#include "serve/event.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "resilience/fault.h"
+#include "support/check.h"
+#include "support/json.h"
+#include "support/string_util.h"
+
+namespace mlsc::serve {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRegister:
+      return "register";
+    case EventKind::kDepart:
+      return "depart";
+    case EventKind::kScale:
+      return "scale";
+    case EventKind::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string require_string(const JsonValue& doc, const char* key,
+                           const char* kind) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+    throw Error(std::string(kind) + " event needs a non-empty string '" +
+                key + "'");
+  }
+  return v->as_string();
+}
+
+std::uint32_t require_clients(const JsonValue& doc, const char* kind) {
+  const JsonValue* v = doc.find("clients");
+  if (v == nullptr || !v->is_number()) {
+    throw Error(std::string(kind) + " event needs a numeric 'clients'");
+  }
+  const double c = v->as_number();
+  if (!(c >= 1.0) || c != std::floor(c) || c > 1e9) {
+    throw Error(std::string(kind) + " event: 'clients' must be a positive "
+                "integer, got " + json_number(c));
+  }
+  return static_cast<std::uint32_t>(c);
+}
+
+}  // namespace
+
+ServeEvent parse_serve_event(const JsonValue& doc) {
+  if (!doc.is_object()) throw Error("serve event must be a JSON object");
+  ServeEvent event;
+
+  const JsonValue* kind = doc.find("event");
+  if (kind == nullptr || !kind->is_string()) {
+    throw Error("serve event needs a string 'event' field");
+  }
+  const std::string& name = kind->as_string();
+  if (name == "register") {
+    event.kind = EventKind::kRegister;
+  } else if (name == "depart") {
+    event.kind = EventKind::kDepart;
+  } else if (name == "scale") {
+    event.kind = EventKind::kScale;
+  } else if (name == "fault") {
+    event.kind = EventKind::kFault;
+  } else {
+    throw Error("unknown serve event type '" + name + "'");
+  }
+
+  if (const JsonValue* at = doc.find("at_ms"); at != nullptr) {
+    if (!at->is_number() || !(at->as_number() >= 0.0)) {
+      throw Error("serve event: 'at_ms' must be a non-negative number");
+    }
+    event.at = static_cast<Nanoseconds>(
+        at->as_number() * static_cast<double>(kMillisecond) + 0.5);
+  }
+
+  switch (event.kind) {
+    case EventKind::kRegister:
+      event.id = require_string(doc, "id", "register");
+      event.workload = require_string(doc, "workload", "register");
+      event.clients = require_clients(doc, "register");
+      if (const JsonValue* sf = doc.find("size_factor"); sf != nullptr) {
+        if (!sf->is_number() || !(sf->as_number() > 0.0) ||
+            !std::isfinite(sf->as_number())) {
+          throw Error("register event: 'size_factor' must be positive");
+        }
+        event.size_factor = sf->as_number();
+      }
+      break;
+    case EventKind::kDepart:
+      event.id = require_string(doc, "id", "depart");
+      break;
+    case EventKind::kScale:
+      event.id = require_string(doc, "id", "scale");
+      event.clients = require_clients(doc, "scale");
+      break;
+    case EventKind::kFault:
+      event.fault_spec = require_string(doc, "spec", "fault");
+      // Validate eagerly: a journal must never carry a spec the replay
+      // cannot parse.
+      resilience::parse_fault_spec(event.fault_spec);
+      break;
+  }
+  return event;
+}
+
+std::vector<ServeEvent> parse_event_stream(std::string_view text) {
+  std::vector<ServeEvent> events;
+  std::unordered_set<std::string> live;
+  Nanoseconds last_at = 0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool saw_any = false;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    // Skip blank lines (and a trailing newline's empty remainder).
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    try {
+      const JsonValue doc = parse_json(line);
+      if (doc.is_object() && doc.find("schema") != nullptr) {
+        const std::string schema = doc.find("schema")->string_or("");
+        if (schema != kServeEventSchema) {
+          throw Error("unsupported event-stream schema '" + schema +
+                      "' (want " + kServeEventSchema + ")");
+        }
+        continue;  // header line
+      }
+      ServeEvent event = parse_serve_event(doc);
+      if (saw_any && event.at < last_at) {
+        throw Error("events must be sorted by at_ms");
+      }
+      last_at = event.at;
+      saw_any = true;
+      switch (event.kind) {
+        case EventKind::kRegister:
+          if (!live.insert(event.id).second) {
+            throw Error("duplicate workload id '" + event.id + "'");
+          }
+          break;
+        case EventKind::kDepart:
+          if (live.erase(event.id) == 0) {
+            throw Error("depart of unknown workload id '" + event.id + "'");
+          }
+          break;
+        case EventKind::kScale:
+          if (live.find(event.id) == live.end()) {
+            throw Error("scale of unknown workload id '" + event.id + "'");
+          }
+          break;
+        case EventKind::kFault:
+          break;
+      }
+      events.push_back(std::move(event));
+    } catch (const Error& e) {
+      throw Error("event stream line " + std::to_string(line_no) + ": " +
+                  e.what());
+    }
+  }
+  return events;
+}
+
+std::vector<ServeEvent> load_event_stream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read event stream '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_event_stream(buffer.str());
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+std::string event_to_json(const ServeEvent& event) {
+  std::ostringstream out;
+  out << "{\"at_ms\":"
+      << json_number(static_cast<double>(event.at) /
+                     static_cast<double>(kMillisecond))
+      << ",\"event\":" << json_quote(event_kind_name(event.kind));
+  switch (event.kind) {
+    case EventKind::kRegister:
+      out << ",\"id\":" << json_quote(event.id)
+          << ",\"workload\":" << json_quote(event.workload)
+          << ",\"clients\":" << event.clients
+          << ",\"size_factor\":" << json_number(event.size_factor);
+      break;
+    case EventKind::kDepart:
+      out << ",\"id\":" << json_quote(event.id);
+      break;
+    case EventKind::kScale:
+      out << ",\"id\":" << json_quote(event.id)
+          << ",\"clients\":" << event.clients;
+      break;
+    case EventKind::kFault:
+      out << ",\"spec\":" << json_quote(event.fault_spec);
+      break;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string stream_header_json(std::uint64_t seed,
+                               const std::string& machine) {
+  std::ostringstream out;
+  out << "{\"schema\":" << json_quote(kServeEventSchema)
+      << ",\"seed\":" << seed << ",\"machine\":" << json_quote(machine)
+      << "}";
+  return out.str();
+}
+
+}  // namespace mlsc::serve

@@ -1,0 +1,73 @@
+// The online mapping service's event model (DESIGN.md §17).
+//
+// A serve run consumes a stream of workload-lifecycle events — register,
+// depart, scale, fault — each stamped with a virtual arrival time.  The
+// wire format is JSON lines (`mlsc-serve-event-v1`): one object per
+// line, a schema header line first.  The service journals every decision
+// by re-emitting the event line with a "decision" object appended, and
+// the parser ignores that decoration, so any journal replays as an event
+// stream — same events, same seed, bit-identical end state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/units.h"
+
+namespace mlsc {
+class JsonValue;
+}  // namespace mlsc
+
+namespace mlsc::serve {
+
+/// Schema tag of event streams and journals; bump on incompatible
+/// changes.
+inline constexpr const char* kServeEventSchema = "mlsc-serve-event-v1";
+
+enum class EventKind { kRegister, kDepart, kScale, kFault };
+
+const char* event_kind_name(EventKind kind);
+
+struct ServeEvent {
+  Nanoseconds at = 0;  // virtual arrival time
+  EventKind kind = EventKind::kRegister;
+
+  /// Workload-instance id (register/depart/scale).  Unique among live
+  /// instances; register picks it, depart/scale address it.
+  std::string id;
+  /// Registry workload name, or "irregular" (register only).
+  std::string workload;
+  double size_factor = 1.0;     // register only
+  std::uint32_t clients = 0;    // requested client slices (register/scale)
+
+  /// Compact fault spec (resilience::parse_fault_spec grammar) whose
+  /// event times are absolute virtual times (fault only).
+  std::string fault_spec;
+};
+
+/// Parses one event line's JSON object.  A "decision" member (journal
+/// decoration) is ignored.  Throws Error on unknown event types, missing
+/// or mistyped fields, non-integral / negative / zero client counts,
+/// non-positive size factors, and malformed fault specs.
+ServeEvent parse_serve_event(const JsonValue& doc);
+
+/// Parses a JSON-lines event stream: blank lines are skipped, a leading
+/// {"schema": ...} header is validated, every other line goes through
+/// parse_serve_event, then stream-level rules are enforced — events
+/// sorted by `at`, register ids unique among live instances, depart and
+/// scale only address live ids.  Errors name the offending line.
+std::vector<ServeEvent> parse_event_stream(std::string_view text);
+
+/// Reads and parses an event-stream (or journal) file.  Throws Error
+/// when the file cannot be read or fails validation.
+std::vector<ServeEvent> load_event_stream(const std::string& path);
+
+/// One JSON event line (no trailing newline, no decision decoration).
+std::string event_to_json(const ServeEvent& event);
+
+/// The stream's schema header line (no trailing newline).
+std::string stream_header_json(std::uint64_t seed, const std::string& machine);
+
+}  // namespace mlsc::serve

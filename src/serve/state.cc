@@ -1,0 +1,1100 @@
+#include "serve/state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "core/clustering.h"
+#include "core/data_space.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/check.h"
+#include "workloads/registry.h"
+
+namespace mlsc::serve {
+
+bool edge_better(const ForestEdge& x, const ForestEdge& y) {
+  if (x.score != y.score) return x.score > y.score;
+  if (x.u != y.u) return x.u < y.u;
+  return x.v < y.v;
+}
+
+namespace {
+
+/// Union-find with path compression; unions attach the larger root under
+/// the smaller, so a component's root is always its smallest member id
+/// (the invariant the patch builder and fingerprint rely on).
+std::uint32_t uf_find(std::vector<std::uint32_t>& parent, std::uint32_t x) {
+  std::uint32_t root = x;
+  while (parent[root] != root) root = parent[root];
+  while (parent[x] != root) {
+    const std::uint32_t next = parent[x];
+    parent[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool uf_union(std::vector<std::uint32_t>& parent, std::uint32_t a,
+              std::uint32_t b) {
+  const std::uint32_t ra = uf_find(parent, a);
+  const std::uint32_t rb = uf_find(parent, b);
+  if (ra == rb) return false;
+  parent[std::max(ra, rb)] = std::min(ra, rb);
+  return true;
+}
+
+std::string make_data_key(const std::string& name, double size_factor) {
+  std::ostringstream out;
+  out.precision(17);
+  out << name << '@' << size_factor;
+  return out.str();
+}
+
+/// Erases one id from a sorted posting list.
+void posting_erase(std::vector<std::uint32_t>& list, std::uint32_t id) {
+  const auto it = std::lower_bound(list.begin(), list.end(), id);
+  MLSC_CHECK(it != list.end() && *it == id,
+             "posting list missing chunk " << id);
+  list.erase(it);
+}
+
+}  // namespace
+
+MappingState::MappingState(const sim::MachineConfig& machine,
+                           ServeStateOptions options)
+    : machine_(machine), tree_(machine.build_tree()), options_(options) {
+  load_.assign(tree_.num_clients(), 0);
+  client_alive_.assign(tree_.num_clients(), true);
+}
+
+std::uint64_t MappingState::chunk_order_key(std::uint32_t chunk) const {
+  return core::Cluster::make_order_key(chunks_[chunk]);
+}
+
+bool MappingState::chunk_live(std::uint32_t chunk) const {
+  return entries_[chunk_owner_[chunk]].live;
+}
+
+std::size_t MappingState::find_live(const std::string& id) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].live && entries_[i].id == id) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::size_t MappingState::num_live_workloads() const {
+  std::size_t n = 0;
+  for (const WorkloadEntry& e : entries_) n += e.live ? 1 : 0;
+  return n;
+}
+
+std::size_t MappingState::num_alive_clients() const {
+  std::size_t n = 0;
+  for (bool a : client_alive_) n += a ? 1 : 0;
+  return n;
+}
+
+std::size_t MappingState::standing_chunks() const {
+  std::size_t n = 0;
+  for (const WorkloadEntry& e : entries_) {
+    if (e.live) n += e.num_chunks;
+  }
+  return n;
+}
+
+std::uint64_t MappingState::total_load() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t l : load_) total += l;
+  return total;
+}
+
+std::size_t MappingState::cut_target() const {
+  const std::size_t live = standing_chunks();
+  if (live == 0) return 1;
+  std::size_t requested = 0;
+  for (const WorkloadEntry& e : entries_) {
+    if (e.live) requested += e.requested_clients;
+  }
+  return std::clamp<std::size_t>(requested, 1, live);
+}
+
+double MappingState::imbalance() const {
+  std::uint64_t total = 0;
+  std::size_t alive = 0;
+  for (std::size_t r = 0; r < load_.size(); ++r) {
+    if (!client_alive_[r]) continue;
+    total += load_[r];
+    ++alive;
+  }
+  if (alive == 0 || total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(alive);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < load_.size(); ++r) {
+    if (!client_alive_[r]) continue;
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(load_[r]) - mean) / mean);
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+
+std::size_t MappingState::register_workload(const std::string& id,
+                                            const std::string& name,
+                                            double size_factor,
+                                            std::uint32_t clients,
+                                            ThreadPool* pool,
+                                            DeltaStats* stats) {
+  MLSC_CHECK(clients >= 1, "register needs at least one client");
+  MLSC_CHECK(find_live(id) == static_cast<std::size_t>(-1),
+             "workload id '" << id << "' is already live");
+
+  obs::Span span("pipeline.serve_register");
+  span.arg("standing_chunks", static_cast<std::uint64_t>(standing_chunks()));
+
+  WorkloadEntry entry;
+  entry.id = id;
+  entry.name = name;
+  entry.size_factor = size_factor;
+  entry.requested_clients = clients;
+  entry.live = true;
+  entry.workload = workloads::make_workload(name, size_factor);
+
+  // Tag — or copy a live sibling's chunk table when the data key is
+  // already standing (tagging is deterministic, so the copy is exactly
+  // what a recompute would produce).
+  const std::string key = make_data_key(name, size_factor);
+  std::vector<core::IterationChunk> tagged;
+  std::uint32_t num_data_chunks = 0;
+  std::size_t sibling = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].live && entries_[i].name == name &&
+        entries_[i].size_factor == size_factor) {
+      sibling = i;
+      break;
+    }
+  }
+  if (sibling != static_cast<std::size_t>(-1)) {
+    const WorkloadEntry& sib = entries_[sibling];
+    tagged.assign(chunks_.begin() + sib.first_chunk,
+                  chunks_.begin() + sib.first_chunk + sib.num_chunks);
+    num_data_chunks = sib.num_data_chunks;
+    entry.total_iterations = sib.total_iterations;
+  } else {
+    const core::DataSpace space(entry.workload.program,
+                                machine_.chunk_size_bytes);
+    std::vector<poly::NestId> nests(entry.workload.program.nests.size());
+    std::iota(nests.begin(), nests.end(), 0u);
+    core::TaggingResult result = core::compute_iteration_chunks(
+        entry.workload.program, space, nests, options_.tagging, pool);
+    tagged = std::move(result.chunks);
+    num_data_chunks = result.num_data_chunks;
+    entry.total_iterations = result.total_iterations;
+  }
+
+  auto [it, inserted] =
+      data_keys_.try_emplace(key, DataKey{next_tag_offset_, num_data_chunks, 0});
+  if (inserted) {
+    next_tag_offset_ += num_data_chunks;
+  } else {
+    MLSC_CHECK(it->second.num_data_chunks == num_data_chunks,
+               "data key '" << key << "' changed tag width");
+  }
+  it->second.live_instances += 1;
+  entry.tag_offset = it->second.tag_offset;
+  entry.num_data_chunks = num_data_chunks;
+
+  entry.first_chunk = static_cast<std::uint32_t>(chunks_.size());
+  entry.num_chunks = static_cast<std::uint32_t>(tagged.size());
+  const std::uint32_t widx = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(std::move(entry));
+  const WorkloadEntry& e = entries_.back();
+
+  chunks_.insert(chunks_.end(), tagged.begin(), tagged.end());
+  chunk_owner_.resize(chunks_.size(), widx);
+  cluster_of_chunk_.resize(chunks_.size(), kUnplaced);
+  parent_.reserve(chunks_.size());
+  for (std::uint32_t g = e.first_chunk; g < chunks_.size(); ++g) {
+    parent_.push_back(g);
+  }
+
+  // Post the new chunks.  Global ids grow monotonically, so push_back
+  // keeps every list ascending.
+  std::vector<std::uint32_t> rows;
+  rows.reserve(e.num_chunks);
+  for (std::uint32_t g = e.first_chunk; g < chunks_.size(); ++g) {
+    rows.push_back(g);
+    for (std::uint32_t bit : chunks_[g].tag.bits()) {
+      postings_[e.tag_offset + bit].push_back(g);
+    }
+  }
+
+  // Score only the arrival's rows and hook them into the standing
+  // forest — the delta path's work is proportional to the arrival.
+  std::uint64_t scored = 0;
+  std::vector<ForestEdge> edges = score_rows(rows, pool, &scored);
+  if (stats != nullptr) stats->scored_pairs += scored;
+  hook_edges(std::move(edges), stats);
+
+  span.arg("new_chunks", static_cast<std::uint64_t>(e.num_chunks));
+  span.arg("scored_pairs", scored);
+  span.end();
+  MLSC_COUNTER_ADD("pipeline.serve_scored_pairs", scored);
+  return widx;
+}
+
+std::vector<ForestEdge> MappingState::score_rows(
+    const std::vector<std::uint32_t>& rows, ThreadPool* pool,
+    std::uint64_t* scored) const {
+  const std::size_t n = chunks_.size();
+  std::vector<std::vector<ForestEdge>> per_row(rows.size());
+  auto score_range = [&](std::size_t lo, std::size_t hi) {
+    thread_local std::vector<std::uint64_t> acc;
+    thread_local std::vector<std::uint32_t> touched;
+    if (acc.size() < n) acc.resize(n, 0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t a = rows[i];
+      const std::uint64_t offset = entries_[chunk_owner_[a]].tag_offset;
+      touched.clear();
+      for (std::uint32_t bit : chunks_[a].tag.bits()) {
+        const auto it = postings_.find(offset + bit);
+        if (it == postings_.end()) continue;
+        for (const std::uint32_t b : it->second) {
+          if (b >= a) break;  // posting lists are id-ascending
+          if (acc[b] == 0) touched.push_back(b);
+          acc[b] += 1;
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& out = per_row[i];
+      out.reserve(touched.size());
+      for (const std::uint32_t b : touched) {
+        out.push_back(ForestEdge{static_cast<double>(acc[b]), b, a});
+        acc[b] = 0;  // keep the scratch all-zero between rows
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && rows.size() >= 64) {
+    pool->parallel_for(0, rows.size(), pool->default_grain(rows.size()),
+                       score_range);
+  } else {
+    score_range(0, rows.size());
+  }
+
+  std::size_t total = 0;
+  for (const auto& row : per_row) total += row.size();
+  if (scored != nullptr) *scored += total;
+  std::vector<ForestEdge> edges;
+  edges.reserve(total);
+  for (auto& row : per_row) {
+    edges.insert(edges.end(), row.begin(), row.end());
+  }
+  return edges;
+}
+
+void MappingState::hook_edges(std::vector<ForestEdge> edges,
+                              DeltaStats* stats) {
+  // Borůvka rounds against the *standing* union-find: every component
+  // incident to a candidate edge picks its best edge under the strict
+  // (score, u, v) order, picks are hooked in ascending component order,
+  // intra-component edges are compacted away.
+  while (!edges.empty()) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [&](const ForestEdge& e) {
+                                 return uf_find(parent_, e.u) ==
+                                        uf_find(parent_, e.v);
+                               }),
+                edges.end());
+    if (edges.empty()) break;
+    if (stats != nullptr) stats->rounds += 1;
+
+    std::unordered_map<std::uint32_t, std::size_t> best;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      for (const std::uint32_t end : {edges[i].u, edges[i].v}) {
+        const std::uint32_t root = uf_find(parent_, end);
+        const auto it = best.find(root);
+        if (it == best.end()) {
+          best.emplace(root, i);
+        } else if (edge_better(edges[i], edges[it->second])) {
+          it->second = i;
+        }
+      }
+    }
+    std::vector<std::uint32_t> comps;
+    comps.reserve(best.size());
+    for (const auto& [root, idx] : best) comps.push_back(root);
+    std::sort(comps.begin(), comps.end());
+
+    bool hooked = false;
+    for (const std::uint32_t root : comps) {
+      const ForestEdge& e = edges[best[root]];
+      if (uf_union(parent_, e.u, e.v)) {
+        forest_.push_back(e);
+        hooked = true;
+        if (stats != nullptr) stats->forest_hooks += 1;
+      }
+    }
+    if (!hooked) break;
+  }
+  MLSC_COUNTER_ADD("pipeline.serve_forest_edges", forest_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Departure / scaling
+
+void MappingState::depart_workload(std::size_t widx) {
+  WorkloadEntry& e = entries_[widx];
+  MLSC_CHECK(e.live, "depart of a non-live workload entry");
+  e.live = false;
+
+  const auto key_it = data_keys_.find(make_data_key(e.name, e.size_factor));
+  MLSC_CHECK(key_it != data_keys_.end() && key_it->second.live_instances > 0,
+             "data key bookkeeping out of sync");
+  key_it->second.live_instances -= 1;
+
+  const std::uint32_t lo = e.first_chunk;
+  const std::uint32_t hi = e.first_chunk + e.num_chunks;
+
+  for (std::uint32_t g = lo; g < hi; ++g) {
+    for (std::uint32_t bit : chunks_[g].tag.bits()) {
+      const std::uint64_t k = e.tag_offset + bit;
+      const auto it = postings_.find(k);
+      MLSC_CHECK(it != postings_.end(), "posting key missing on depart");
+      posting_erase(it->second, g);
+      if (it->second.empty()) postings_.erase(it);
+    }
+  }
+
+  forest_.erase(std::remove_if(forest_.begin(), forest_.end(),
+                               [&](const ForestEdge& edge) {
+                                 return (edge.u >= lo && edge.u < hi) ||
+                                        (edge.v >= lo && edge.v < hi);
+                               }),
+                forest_.end());
+  rebuild_parent_from_forest();
+
+  // Strip the departing chunks out of the standing clusters; placements
+  // of survivors stay (the cheap path — callers escalate per policy).
+  for (auto& cluster : clusters_) {
+    std::uint64_t removed = 0;
+    for (const std::uint32_t m : cluster.members) {
+      if (m >= lo && m < hi) removed += chunks_[m].iterations;
+    }
+    if (removed == 0) continue;
+    cluster.members.erase(
+        std::remove_if(cluster.members.begin(), cluster.members.end(),
+                       [&](std::uint32_t m) { return m >= lo && m < hi; }),
+        cluster.members.end());
+    MLSC_CHECK(cluster.iterations >= removed, "cluster size underflow");
+    cluster.iterations -= removed;
+    if (cluster.client != kUnplaced) {
+      MLSC_CHECK(load_[cluster.client] >= removed, "client load underflow");
+      load_[cluster.client] -= removed;
+    }
+  }
+  clusters_.erase(std::remove_if(clusters_.begin(), clusters_.end(),
+                                 [](const ServeCluster& c) {
+                                   return c.members.empty();
+                                 }),
+                  clusters_.end());
+  std::fill(cluster_of_chunk_.begin(), cluster_of_chunk_.end(), kUnplaced);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (const std::uint32_t m : clusters_[c].members) {
+      cluster_of_chunk_[m] = static_cast<std::uint32_t>(c);
+    }
+  }
+}
+
+void MappingState::set_requested_clients(std::size_t widx,
+                                         std::uint32_t clients) {
+  MLSC_CHECK(clients >= 1, "scale needs at least one client");
+  MLSC_CHECK(entries_[widx].live, "scale of a non-live workload entry");
+  entries_[widx].requested_clients = clients;
+}
+
+void MappingState::set_baseline(std::size_t widx,
+                                const cache::CacheStats& l2) {
+  entries_[widx].baseline_l2 = l2;
+  entries_[widx].has_baseline = true;
+}
+
+void MappingState::rebuild_parent_from_forest() {
+  for (std::uint32_t i = 0; i < parent_.size(); ++i) parent_[i] = i;
+  for (const ForestEdge& e : forest_) uf_union(parent_, e.u, e.v);
+}
+
+// ---------------------------------------------------------------------------
+// Patch path
+
+PatchPlan MappingState::build_patch(std::size_t widx) const {
+  const WorkloadEntry& e = entries_[widx];
+  MLSC_CHECK(e.live, "patch for a non-live workload entry");
+  const std::uint32_t lo = e.first_chunk;
+  const std::uint32_t hi = e.first_chunk + e.num_chunks;
+
+  PatchPlan plan;
+  std::unordered_map<std::uint32_t, std::size_t> new_slot;   // root -> idx
+  std::unordered_map<std::uint32_t, std::size_t> append_slot;  // cluster
+  for (std::uint32_t g = lo; g < hi; ++g) {
+    const std::uint32_t root = uf_find(parent_, g);
+    if (root < lo) {
+      // Hooked onto a standing component: append to the cluster holding
+      // the component's root (its smallest member — deterministic when
+      // the cut split the component across several clusters).
+      const std::uint32_t cluster = cluster_of_chunk_[root];
+      MLSC_CHECK(cluster != kUnplaced, "standing chunk without a cluster");
+      const auto it = append_slot.find(cluster);
+      std::size_t idx;
+      if (it == append_slot.end()) {
+        idx = plan.appends.size();
+        append_slot.emplace(cluster, idx);
+        plan.appends.push_back(PatchPlan::Append{cluster, {}, 0});
+      } else {
+        idx = it->second;
+      }
+      plan.appends[idx].members.push_back(g);
+      plan.appends[idx].iterations += chunks_[g].iterations;
+    } else {
+      const auto it = new_slot.find(root);
+      std::size_t idx;
+      if (it == new_slot.end()) {
+        idx = plan.new_clusters.size();
+        new_slot.emplace(root, idx);
+        plan.new_clusters.push_back(ServeCluster{});
+      } else {
+        idx = it->second;
+      }
+      plan.new_clusters[idx].members.push_back(g);
+      plan.new_clusters[idx].iterations += chunks_[g].iterations;
+    }
+  }
+  std::sort(plan.appends.begin(), plan.appends.end(),
+            [](const PatchPlan::Append& x, const PatchPlan::Append& y) {
+              return x.cluster < y.cluster;
+            });
+  std::sort(plan.new_clusters.begin(), plan.new_clusters.end(),
+            [](const ServeCluster& x, const ServeCluster& y) {
+              return x.members.front() < y.members.front();
+            });
+
+  // More purely-new components than the instance asked clients for:
+  // merge rank-adjacent (order_key) smallest-combined-first, the offline
+  // cut's leftover rule.
+  if (plan.new_clusters.size() > e.requested_clients) {
+    struct Slot {
+      std::uint64_t order_key;
+      std::size_t idx;  // into plan.new_clusters
+    };
+    std::vector<Slot> slots;
+    slots.reserve(plan.new_clusters.size());
+    for (std::size_t i = 0; i < plan.new_clusters.size(); ++i) {
+      std::uint64_t key = UINT64_MAX;
+      for (const std::uint32_t m : plan.new_clusters[i].members) {
+        key = std::min(key, chunk_order_key(m));
+      }
+      slots.push_back(Slot{key, i});
+    }
+    std::sort(slots.begin(), slots.end(), [&](const Slot& x, const Slot& y) {
+      if (x.order_key != y.order_key) return x.order_key < y.order_key;
+      return plan.new_clusters[x.idx].members.front() <
+             plan.new_clusters[y.idx].members.front();
+    });
+    while (slots.size() > e.requested_clients) {
+      std::size_t pos = 0;
+      std::uint64_t best_size = UINT64_MAX;
+      for (std::size_t p = 0; p + 1 < slots.size(); ++p) {
+        const std::uint64_t combined =
+            plan.new_clusters[slots[p].idx].iterations +
+            plan.new_clusters[slots[p + 1].idx].iterations;
+        if (combined < best_size) {
+          best_size = combined;
+          pos = p;
+        }
+      }
+      ServeCluster& into = plan.new_clusters[slots[pos].idx];
+      ServeCluster& from = plan.new_clusters[slots[pos + 1].idx];
+      std::vector<std::uint32_t> merged;
+      merged.reserve(into.members.size() + from.members.size());
+      std::merge(into.members.begin(), into.members.end(),
+                 from.members.begin(), from.members.end(),
+                 std::back_inserter(merged));
+      into.members = std::move(merged);
+      into.iterations += from.iterations;
+      from.members.clear();
+      from.iterations = 0;
+      slots.erase(slots.begin() + pos + 1);
+    }
+    plan.new_clusters.erase(
+        std::remove_if(plan.new_clusters.begin(), plan.new_clusters.end(),
+                       [](const ServeCluster& c) {
+                         return c.members.empty();
+                       }),
+        plan.new_clusters.end());
+  }
+  return plan;
+}
+
+void MappingState::place_cluster(std::uint32_t cluster_index) {
+  MLSC_CHECK(num_alive_clients() > 0, "no alive clients to place on");
+  std::size_t pick = static_cast<std::size_t>(-1);
+  for (std::size_t r = 0; r < load_.size(); ++r) {
+    if (!client_alive_[r]) continue;
+    if (pick == static_cast<std::size_t>(-1) || load_[r] < load_[pick]) {
+      pick = r;
+    }
+  }
+  ServeCluster& c = clusters_[cluster_index];
+  c.client = static_cast<std::uint32_t>(pick);
+  load_[pick] += c.iterations;
+}
+
+void MappingState::apply_patch(const PatchPlan& plan) {
+  for (const PatchPlan::Append& ap : plan.appends) {
+    ServeCluster& c = clusters_[ap.cluster];
+    const std::size_t mid = c.members.size();
+    c.members.insert(c.members.end(), ap.members.begin(), ap.members.end());
+    std::inplace_merge(c.members.begin(), c.members.begin() + mid,
+                       c.members.end());
+    c.iterations += ap.iterations;
+    if (c.client != kUnplaced) load_[c.client] += ap.iterations;
+    for (const std::uint32_t m : ap.members) {
+      cluster_of_chunk_[m] = ap.cluster;
+    }
+  }
+  // New clusters go in heaviest-first, each onto the least-loaded alive
+  // client (ties to the smaller rank).
+  std::vector<std::size_t> order(plan.new_clusters.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (plan.new_clusters[x].iterations != plan.new_clusters[y].iterations) {
+      return plan.new_clusters[x].iterations > plan.new_clusters[y].iterations;
+    }
+    return x < y;
+  });
+  for (const std::size_t i : order) {
+    clusters_.push_back(plan.new_clusters[i]);
+    const auto ci = static_cast<std::uint32_t>(clusters_.size() - 1);
+    clusters_.back().client = kUnplaced;
+    for (const std::uint32_t m : clusters_.back().members) {
+      cluster_of_chunk_[m] = ci;
+    }
+    place_cluster(ci);
+  }
+}
+
+double MappingState::simulate_patch(const PatchPlan& plan) const {
+  std::vector<std::uint64_t> loads = load_;
+  for (const PatchPlan::Append& ap : plan.appends) {
+    const ServeCluster& c = clusters_[ap.cluster];
+    if (c.client != kUnplaced) loads[c.client] += ap.iterations;
+  }
+  std::vector<std::size_t> order(plan.new_clusters.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (plan.new_clusters[x].iterations != plan.new_clusters[y].iterations) {
+      return plan.new_clusters[x].iterations > plan.new_clusters[y].iterations;
+    }
+    return x < y;
+  });
+  for (const std::size_t i : order) {
+    std::size_t pick = static_cast<std::size_t>(-1);
+    for (std::size_t r = 0; r < loads.size(); ++r) {
+      if (!client_alive_[r]) continue;
+      if (pick == static_cast<std::size_t>(-1) || loads[r] < loads[pick]) {
+        pick = r;
+      }
+    }
+    if (pick == static_cast<std::size_t>(-1)) break;
+    loads[pick] += plan.new_clusters[i].iterations;
+  }
+
+  std::uint64_t total = 0;
+  std::size_t alive = 0;
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    if (!client_alive_[r]) continue;
+    total += loads[r];
+    ++alive;
+  }
+  if (alive == 0 || total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(alive);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    if (!client_alive_[r]) continue;
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(loads[r]) - mean) / mean);
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Partial / full remap
+
+void MappingState::recut_all() {
+  obs::Span span("pipeline.serve_recut");
+  const std::size_t target = cut_target();
+  span.arg("target", static_cast<std::uint64_t>(target));
+
+  std::vector<std::uint32_t> alive_chunks;
+  std::uint64_t total_iterations = 0;
+  for (std::uint32_t g = 0; g < chunks_.size(); ++g) {
+    if (!chunk_live(g)) continue;
+    alive_chunks.push_back(g);
+    total_iterations += chunks_[g].iterations;
+  }
+  clusters_.clear();
+  std::fill(cluster_of_chunk_.begin(), cluster_of_chunk_.end(), kUnplaced);
+  load_.assign(tree_.num_clients(), 0);
+  if (alive_chunks.empty()) {
+    span.end();
+    return;
+  }
+
+  // Replay the standing forest's edges best-first into a scratch
+  // union-find, balance-capped — the offline cut, verbatim semantics.
+  std::vector<ForestEdge> edges = forest_;
+  std::sort(edges.begin(), edges.end(), edge_better);
+  std::vector<std::uint32_t> parent(chunks_.size());
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::vector<std::uint64_t> comp_iterations(chunks_.size(), 0);
+  for (const std::uint32_t g : alive_chunks) {
+    comp_iterations[g] = chunks_[g].iterations;
+  }
+  const bool capped = options_.cut_balance_slack >= 0.0;
+  const auto cap = static_cast<std::uint64_t>(
+      static_cast<double>(total_iterations) / static_cast<double>(target) *
+      (1.0 + options_.cut_balance_slack));
+  std::size_t components = alive_chunks.size();
+  for (const ForestEdge& e : edges) {
+    if (components <= target) break;
+    const std::uint32_t ru = uf_find(parent, e.u);
+    const std::uint32_t rv = uf_find(parent, e.v);
+    MLSC_CHECK(ru != rv, "standing forest edge formed a cycle");
+    if (capped && comp_iterations[ru] + comp_iterations[rv] > cap) continue;
+    const std::uint64_t merged = comp_iterations[ru] + comp_iterations[rv];
+    uf_union(parent, ru, rv);
+    comp_iterations[std::min(ru, rv)] = merged;
+    --components;
+  }
+
+  // Leftovers: merge rank-adjacent (order_key) smallest-combined-first.
+  if (components > target) {
+    struct Comp {
+      std::uint32_t root;
+      std::uint64_t order_key;
+      std::uint64_t iterations;
+    };
+    std::unordered_map<std::uint32_t, std::size_t> slot;
+    std::vector<Comp> comps;
+    comps.reserve(components);
+    for (const std::uint32_t g : alive_chunks) {
+      const std::uint32_t root = uf_find(parent, g);
+      const auto it = slot.find(root);
+      if (it == slot.end()) {
+        slot.emplace(root, comps.size());
+        comps.push_back(Comp{root, chunk_order_key(g), chunks_[g].iterations});
+      } else {
+        Comp& c = comps[it->second];
+        c.order_key = std::min(c.order_key, chunk_order_key(g));
+        c.iterations += chunks_[g].iterations;
+      }
+    }
+    std::sort(comps.begin(), comps.end(), [](const Comp& x, const Comp& y) {
+      if (x.order_key != y.order_key) return x.order_key < y.order_key;
+      return x.root < y.root;
+    });
+    while (comps.size() > target) {
+      std::size_t pos = 0;
+      std::uint64_t best_size = UINT64_MAX;
+      for (std::size_t p = 0; p + 1 < comps.size(); ++p) {
+        const std::uint64_t combined =
+            comps[p].iterations + comps[p + 1].iterations;
+        if (combined < best_size) {
+          best_size = combined;
+          pos = p;
+        }
+      }
+      uf_union(parent, comps[pos].root, comps[pos + 1].root);
+      comps[pos].root = std::min(comps[pos].root, comps[pos + 1].root);
+      comps[pos].iterations += comps[pos + 1].iterations;
+      comps.erase(comps.begin() + pos + 1);
+    }
+  }
+
+  // Materialize ascending by root (== smallest member), members
+  // ascending, then place every cluster heaviest-first least-loaded.
+  std::unordered_map<std::uint32_t, std::size_t> group;
+  for (const std::uint32_t g : alive_chunks) {
+    const std::uint32_t root = uf_find(parent, g);
+    const auto it = group.find(root);
+    std::size_t idx;
+    if (it == group.end()) {
+      // alive_chunks ascends and the root is the component's smallest
+      // member, so first sight of a root is the root itself — clusters
+      // come out ascending by root.
+      idx = clusters_.size();
+      group.emplace(root, idx);
+      clusters_.push_back(ServeCluster{});
+    } else {
+      idx = it->second;
+    }
+    clusters_[idx].members.push_back(g);
+    clusters_[idx].iterations += chunks_[g].iterations;
+    cluster_of_chunk_[g] = static_cast<std::uint32_t>(idx);
+  }
+  MLSC_CHECK(clusters_.size() == target,
+             "recut produced " << clusters_.size() << " clusters, wanted "
+                               << target);
+
+  std::vector<std::size_t> order(clusters_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (clusters_[x].iterations != clusters_[y].iterations) {
+      return clusters_[x].iterations > clusters_[y].iterations;
+    }
+    return x < y;
+  });
+  for (const std::size_t i : order) {
+    place_cluster(static_cast<std::uint32_t>(i));
+  }
+  span.arg("clusters", static_cast<std::uint64_t>(clusters_.size()));
+  span.end();
+}
+
+void MappingState::rebuild_all(ThreadPool* pool, DeltaStats* stats) {
+  obs::Span span("pipeline.serve_rebuild");
+  for (std::uint32_t i = 0; i < parent_.size(); ++i) parent_[i] = i;
+  forest_.clear();
+
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t g = 0; g < chunks_.size(); ++g) {
+    if (chunk_live(g)) rows.push_back(g);
+  }
+  std::uint64_t scored = 0;
+  std::vector<ForestEdge> edges = score_rows(rows, pool, &scored);
+  if (stats != nullptr) stats->scored_pairs += scored;
+  hook_edges(std::move(edges), stats);
+  span.arg("rows", static_cast<std::uint64_t>(rows.size()));
+  span.arg("scored_pairs", scored);
+  span.end();
+  MLSC_COUNTER_ADD("pipeline.serve_scored_pairs", scored);
+  recut_all();
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+void MappingState::apply_faults(const resilience::FaultSchedule& schedule) {
+  for (const resilience::FaultEvent& ev : schedule.events) faults_.add(ev);
+  if (schedule.seed != 0) faults_.seed = schedule.seed;
+
+  std::vector<bool> alive(tree_.num_clients(), true);
+  for (const resilience::FaultEvent& ev : faults_.unrecovered_fail_stops()) {
+    if (ev.level != 1) continue;  // only compute-level kills a client
+    for (const topology::NodeId node : resolve_fault_targets(tree_, ev)) {
+      alive[tree_.client_rank(node)] = false;
+    }
+  }
+  client_alive_ = alive;
+}
+
+std::size_t MappingState::replace_orphans() {
+  std::vector<std::uint32_t> orphans;
+  for (std::uint32_t c = 0; c < clusters_.size(); ++c) {
+    const std::uint32_t client = clusters_[c].client;
+    if (client != kUnplaced && !client_alive_[client]) {
+      MLSC_CHECK(load_[client] >= clusters_[c].iterations,
+                 "client load underflow");
+      load_[client] -= clusters_[c].iterations;
+      clusters_[c].client = kUnplaced;
+      orphans.push_back(c);
+    }
+  }
+  std::sort(orphans.begin(), orphans.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (clusters_[x].iterations != clusters_[y].iterations) {
+                return clusters_[x].iterations > clusters_[y].iterations;
+              }
+              return x < y;
+            });
+  for (const std::uint32_t c : orphans) place_cluster(c);
+  return orphans.size();
+}
+
+resilience::FaultSchedule MappingState::effective_faults() const {
+  // Squash the cumulative history to what is in effect *now*: per-target
+  // last state wins, surviving events re-stamped at t=0 so a drift
+  // replay starts under today's conditions.
+  struct TargetState {
+    int mode = 0;  // 0 healthy, 1 failed, 2 degraded
+    double latency_factor = 1.0;
+    double capacity_divisor = 1.0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TargetState> targets;
+  double disk_rate = 0.0;
+  double net_rate = 0.0;
+  const auto level_width = [&](std::uint32_t level) -> std::uint32_t {
+    switch (level) {
+      case 1:
+        return static_cast<std::uint32_t>(machine_.clients);
+      case 2:
+        return static_cast<std::uint32_t>(machine_.io_nodes);
+      case 3:
+        return static_cast<std::uint32_t>(machine_.storage_nodes);
+      default:
+        return 0;
+    }
+  };
+  for (const resilience::FaultEvent& ev : faults_.events) {
+    switch (ev.kind) {
+      case resilience::FaultKind::kFailStop:
+      case resilience::FaultKind::kDegrade:
+      case resilience::FaultKind::kRecover: {
+        const std::uint32_t width = level_width(ev.level);
+        const std::uint32_t first =
+            ev.node_index < 0 ? 0 : static_cast<std::uint32_t>(ev.node_index);
+        const std::uint32_t last =
+            ev.node_index < 0 ? width : first + 1;
+        for (std::uint32_t idx = first; idx < last && idx < width; ++idx) {
+          TargetState& st = targets[{ev.level, idx}];
+          if (ev.kind == resilience::FaultKind::kFailStop) {
+            st = TargetState{1, 1.0, 1.0};
+          } else if (ev.kind == resilience::FaultKind::kRecover) {
+            st = TargetState{0, 1.0, 1.0};
+          } else {
+            st = TargetState{2, ev.latency_factor, ev.capacity_divisor};
+          }
+        }
+        break;
+      }
+      case resilience::FaultKind::kTransient:
+        disk_rate = ev.disk_error_rate;
+        net_rate = ev.net_error_rate;
+        break;
+      case resilience::FaultKind::kStall:
+        break;  // stalls are instantaneous; nothing stays in effect
+    }
+  }
+
+  resilience::FaultSchedule out;
+  out.seed = faults_.seed;
+  for (const auto& [key, st] : targets) {
+    if (st.mode == 0) continue;
+    resilience::FaultEvent ev;
+    ev.at = 0;
+    ev.level = key.first;
+    ev.node_index = static_cast<std::int32_t>(key.second);
+    if (st.mode == 1) {
+      ev.kind = resilience::FaultKind::kFailStop;
+    } else {
+      ev.kind = resilience::FaultKind::kDegrade;
+      ev.latency_factor = st.latency_factor;
+      ev.capacity_divisor = st.capacity_divisor;
+    }
+    out.add(ev);
+  }
+  if (disk_rate > 0.0 || net_rate > 0.0) {
+    resilience::FaultEvent ev;
+    ev.at = 0;
+    ev.kind = resilience::FaultKind::kTransient;
+    ev.disk_error_rate = disk_rate;
+    ev.net_error_rate = net_rate;
+    out.add(ev);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Drift-replay mapping
+
+core::MappingResult MappingState::entry_mapping(
+    std::size_t widx, std::size_t sample_clients) const {
+  const WorkloadEntry& e = entries_[widx];
+  MLSC_CHECK(e.live, "mapping of a non-live workload entry");
+
+  core::MappingResult result;
+  result.kind = core::MapperKind::kInterProcessor;
+  result.mapper_name = "serve-solo";
+  result.client_work.resize(tree_.num_clients());
+  result.chunk_table.assign(chunks_.begin() + e.first_chunk,
+                            chunks_.begin() + e.first_chunk + e.num_chunks);
+
+  // Group this entry's chunks by the client their standing cluster sits
+  // on, in the mapper's deterministic (nest, first_rank) item order.
+  std::vector<std::uint32_t> locals(e.num_chunks);
+  std::iota(locals.begin(), locals.end(), 0u);
+  std::sort(locals.begin(), locals.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const core::IterationChunk& ca = result.chunk_table[a];
+              const core::IterationChunk& cb = result.chunk_table[b];
+              if (ca.nest != cb.nest) return ca.nest < cb.nest;
+              return ca.first_rank() < cb.first_rank();
+            });
+  std::vector<std::uint64_t> entry_load(tree_.num_clients(), 0);
+  for (const std::uint32_t local : locals) {
+    const std::uint32_t g = e.first_chunk + local;
+    const std::uint32_t cluster = cluster_of_chunk_[g];
+    MLSC_CHECK(cluster != kUnplaced, "chunk without a cluster");
+    const std::uint32_t client = clusters_[cluster].client;
+    MLSC_CHECK(client != kUnplaced, "cluster without a placement");
+    core::WorkItem item;
+    item.nest = result.chunk_table[local].nest;
+    item.order = poly::IterationOrder::identity(0);
+    item.ranges = result.chunk_table[local].ranges;
+    item.iterations = result.chunk_table[local].iterations;
+    item.chunk = static_cast<std::int32_t>(local);
+    result.client_work[client].push_back(std::move(item));
+    entry_load[client] += result.chunk_table[local].iterations;
+  }
+
+  if (sample_clients > 0 && sample_clients < tree_.num_clients()) {
+    // Keep only the K busiest clients (by this entry's load; ties to the
+    // smaller rank) — a drift replay samples instead of running all 64.
+    std::vector<std::size_t> ranks(tree_.num_clients());
+    std::iota(ranks.begin(), ranks.end(), std::size_t{0});
+    std::sort(ranks.begin(), ranks.end(), [&](std::size_t x, std::size_t y) {
+      if (entry_load[x] != entry_load[y]) return entry_load[x] > entry_load[y];
+      return x < y;
+    });
+    for (std::size_t i = sample_clients; i < ranks.size(); ++i) {
+      result.client_work[ranks[i]].clear();
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants / fingerprint
+
+void MappingState::check_invariants() const {
+  const std::size_t n = chunks_.size();
+  MLSC_CHECK(chunk_owner_.size() == n && cluster_of_chunk_.size() == n &&
+                 parent_.size() == n,
+             "chunk table sizes out of sync");
+  MLSC_CHECK(load_.size() == tree_.num_clients() &&
+                 client_alive_.size() == tree_.num_clients(),
+             "client table sizes out of sync");
+
+  // Every live chunk in exactly one cluster; members ascending and live;
+  // cluster iteration totals exact; per-client loads exact.
+  std::vector<std::uint32_t> seen(n, kUnplaced);
+  std::vector<std::uint64_t> loads(tree_.num_clients(), 0);
+  for (std::uint32_t c = 0; c < clusters_.size(); ++c) {
+    const ServeCluster& cluster = clusters_[c];
+    MLSC_CHECK(!cluster.members.empty(), "empty cluster survived");
+    std::uint64_t iters = 0;
+    std::uint32_t prev = 0;
+    for (std::size_t m = 0; m < cluster.members.size(); ++m) {
+      const std::uint32_t g = cluster.members[m];
+      MLSC_CHECK(g < n, "cluster member out of range");
+      MLSC_CHECK(m == 0 || g > prev, "cluster members not ascending");
+      prev = g;
+      MLSC_CHECK(chunk_live(g), "dead chunk in a cluster");
+      MLSC_CHECK(seen[g] == kUnplaced, "chunk in two clusters");
+      seen[g] = c;
+      MLSC_CHECK(cluster_of_chunk_[g] == c, "cluster_of_chunk out of sync");
+      iters += chunks_[g].iterations;
+    }
+    MLSC_CHECK(iters == cluster.iterations, "cluster iteration total drifted");
+    if (cluster.client != kUnplaced) {
+      MLSC_CHECK(cluster.client < loads.size(), "placement out of range");
+      loads[cluster.client] += cluster.iterations;
+    }
+  }
+  for (std::uint32_t g = 0; g < n; ++g) {
+    if (chunk_live(g)) {
+      MLSC_CHECK(seen[g] != kUnplaced, "live chunk not in any cluster");
+    } else {
+      MLSC_CHECK(cluster_of_chunk_[g] == kUnplaced,
+                 "dead chunk still mapped to a cluster");
+    }
+  }
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    MLSC_CHECK(loads[r] == load_[r],
+               "client " << r << " load drifted: tracked " << load_[r]
+                         << ", actual " << loads[r]);
+  }
+
+  // Postings are exactly the live chunks' tag bits, ascending.
+  std::size_t posted = 0;
+  for (const auto& [key, list] : postings_) {
+    MLSC_CHECK(!list.empty(), "empty posting list survived");
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      MLSC_CHECK(i == 0 || list[i] > prev, "posting list not ascending");
+      prev = list[i];
+      MLSC_CHECK(chunk_live(list[i]), "dead chunk still posted");
+    }
+    posted += list.size();
+  }
+  std::size_t expected = 0;
+  for (std::uint32_t g = 0; g < n; ++g) {
+    if (!chunk_live(g)) continue;
+    const std::uint64_t offset = entries_[chunk_owner_[g]].tag_offset;
+    for (std::uint32_t bit : chunks_[g].tag.bits()) {
+      const auto it = postings_.find(offset + bit);
+      MLSC_CHECK(it != postings_.end() &&
+                     std::binary_search(it->second.begin(), it->second.end(),
+                                        g),
+                 "live chunk bit not posted");
+      ++expected;
+    }
+  }
+  MLSC_CHECK(posted == expected, "posting index carries stale entries");
+
+  // Forest edges alive and acyclic; parent_ matches the forest exactly.
+  std::vector<std::uint32_t> scratch(n);
+  std::iota(scratch.begin(), scratch.end(), 0u);
+  for (const ForestEdge& e : forest_) {
+    MLSC_CHECK(e.u < e.v && e.v < n, "malformed forest edge");
+    MLSC_CHECK(chunk_live(e.u) && chunk_live(e.v), "dead forest endpoint");
+    MLSC_CHECK(uf_union(scratch, e.u, e.v), "forest edge formed a cycle");
+  }
+  for (std::uint32_t g = 0; g < n; ++g) {
+    MLSC_CHECK(uf_find(scratch, g) == uf_find(parent_, g),
+               "standing union-find out of sync with the forest");
+  }
+}
+
+std::string MappingState::fingerprint() const {
+  // Chunks are named (instance id, local index): comparable across
+  // histories that assigned different global ids, as long as the live
+  // instances arrived in the same relative order.
+  std::ostringstream out;
+  out.precision(17);
+  for (const WorkloadEntry& e : entries_) {
+    if (!e.live) continue;
+    out << "workload " << e.id << " name=" << e.name
+        << " size_factor=" << e.size_factor
+        << " clients=" << e.requested_clients << " chunks=" << e.num_chunks
+        << " iterations=" << e.total_iterations << "\n";
+  }
+  for (const ServeCluster& cluster : clusters_) {
+    out << "cluster client=";
+    if (cluster.client == kUnplaced) {
+      out << "-";
+    } else {
+      out << cluster.client;
+    }
+    out << " iterations=" << cluster.iterations << " members=";
+    for (std::size_t m = 0; m < cluster.members.size(); ++m) {
+      const std::uint32_t g = cluster.members[m];
+      const WorkloadEntry& owner = entries_[chunk_owner_[g]];
+      if (m != 0) out << ",";
+      out << owner.id << ":" << (g - owner.first_chunk);
+    }
+    out << "\n";
+  }
+  for (std::size_t r = 0; r < load_.size(); ++r) {
+    out << "client " << r << " load=" << load_[r]
+        << " alive=" << (client_alive_[r] ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mlsc::serve

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "support/log.h"
+
 namespace mlsc {
 
 bool ArgParser::value_flag(const char* name) {
@@ -43,6 +45,43 @@ double ArgParser::value_double() const {
   if (end == value_.c_str() || *end != '\0' || errno == ERANGE) {
     throw UsageError(flag_name_ + ": expected a number, got '" + value_ +
                      "'");
+  }
+  return out;
+}
+
+bool CommonToolOptions::match(ArgParser& args) {
+  if (args.value_flag("--trace")) {
+    trace_path = args.value();
+  } else if (args.value_flag("--metrics")) {
+    metrics_path = args.value();
+  } else if (args.value_flag("--json")) {
+    json_path = args.value();
+  } else if (args.value_flag("--log-level")) {
+    LogLevel level;
+    if (!parse_log_level(args.value(), &level)) {
+      throw UsageError("--log-level: unknown level '" + args.value() + "'");
+    }
+    set_log_level(level);
+  } else if (accept_reps && args.value_flag("--reps")) {
+    repetitions = args.value_u64();
+    if (repetitions < 1) {
+      throw UsageError("--reps: expected a positive count");
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string CommonToolOptions::usage(bool with_reps) {
+  std::string out =
+      "  --trace PATH        write a Chrome trace_event JSON timeline\n"
+      "  --metrics PATH      write the metrics registry as JSON on exit\n"
+      "  --json PATH         write an mlsc-run-record-v1 run record for\n"
+      "                      mlsc_bench_diff / mlsc_report\n"
+      "  --log-level L       debug|info|warn|error|off (default warn)\n";
+  if (with_reps) {
+    out += "  --reps N            timing repetitions (default 1)\n";
   }
   return out;
 }

@@ -30,6 +30,11 @@ class ArgParser {
  public:
   ArgParser(int argc, char** argv) : argc_(argc), argv_(argv) {}
 
+  /// Index of the current argument within argv (0 before the first
+  /// next()).  Lets scanners that only consume a subset of the flags
+  /// step over a value argument another pass will read.
+  int index() const { return i_; }
+
   /// Advances to the next argument; false when exhausted.
   bool next() {
     if (i_ + 1 >= argc_) return false;
@@ -68,6 +73,30 @@ class ArgParser {
   std::string arg_;
   std::string value_;
   std::string flag_name_;  // last value_flag match, for error messages
+};
+
+/// The output/observability flags every mlsc tool accepts —
+/// --trace/--metrics/--json/--log-level, plus --reps for the binaries
+/// that time repetitions.  One match() call per argument folds them into
+/// any tool's parse loop; obs::ObsScope turns the captured paths into a
+/// live trace/metrics session (tools own the run-record handling since
+/// each stamps different tables).
+struct CommonToolOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string json_path;
+  std::size_t repetitions = 1;
+  /// Benches accept --reps; one-shot tools leave it unknown.
+  bool accept_reps = false;
+
+  /// Consumes the current argument when it is one of the shared flags
+  /// (both "--flag value" and "--flag=value" forms); --log-level is
+  /// applied immediately.  Returns false on any other argument.
+  bool match(ArgParser& args);
+
+  /// Usage text for the shared flags (one indented line each, trailing
+  /// newline included).
+  static std::string usage(bool with_reps = false);
 };
 
 }  // namespace mlsc

@@ -3,18 +3,19 @@
 # asserts every case exits with the usage exit code (3): a structured
 # parse error, never a crash, hang, or sanitizer abort.
 #
-#   tests/corpus/run_corpus.sh <mlsc_report> <mlsc_map>
+#   tests/corpus/run_corpus.sh <mlsc_report> <mlsc_map> [<mlsc_serve>]
 #
 # Run it against a -DMLSC_SANITIZE=address,undefined build to turn the
 # corpus into a memory-safety gate for the parse paths.
 set -u
 
-if [ "$#" -ne 2 ]; then
-  echo "usage: $0 <mlsc_report-binary> <mlsc_map-binary>" >&2
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+  echo "usage: $0 <mlsc_report-binary> <mlsc_map-binary> [<mlsc_serve-binary>]" >&2
   exit 2
 fi
 report=$1
 map=$2
+serve=${3:-}
 corpus=$(dirname "$0")
 fail=0
 
@@ -57,6 +58,15 @@ while IFS= read -r spec; do
   expect_usage_error "mlsc_map --faults='$spec'" \
     "$map" --workload hf --size-factor 0.0625 --faults="$spec"
 done < "$corpus"/faults/specs.txt
+
+# Malformed serve event streams (unknown event types, duplicate ids,
+# negative client counts, broken schema headers / JSON / fault specs).
+if [ -n "$serve" ]; then
+  for doc in "$corpus"/serve/*.jsonl; do
+    expect_usage_error "mlsc_serve $(basename "$doc")" \
+      "$serve" --events "$doc" --clients 8 --io 4 --storage 2
+  done
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "corpus: FAILURES above" >&2

@@ -1,0 +1,485 @@
+// Tests for the online mapping service: event-stream parsing (round
+// trips, journal decoration, stream-level validation), the remap
+// cost/benefit policy, incremental MappingState operations (register /
+// patch / depart / scale / fault), the two acceptance oracles — journal
+// determinism across thread counts and forced-full == from-scratch —
+// and the run-record snapshot surface.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/event.h"
+#include "serve/policy.h"
+#include "serve/service.h"
+#include "serve/state.h"
+#include "support/check.h"
+#include "support/json.h"
+
+namespace mlsc::serve {
+namespace {
+
+sim::MachineConfig tiny_machine() {
+  sim::MachineConfig config;
+  config.clients = 8;
+  config.io_nodes = 4;
+  config.storage_nodes = 2;
+  return config;
+}
+
+ServeEvent make_register(Nanoseconds at, const std::string& id,
+                         const std::string& name, double size_factor,
+                         std::uint32_t clients) {
+  ServeEvent event;
+  event.at = at;
+  event.kind = EventKind::kRegister;
+  event.id = id;
+  event.workload = name;
+  event.size_factor = size_factor;
+  event.clients = clients;
+  return event;
+}
+
+ServeEvent make_depart(Nanoseconds at, const std::string& id) {
+  ServeEvent event;
+  event.at = at;
+  event.kind = EventKind::kDepart;
+  event.id = id;
+  return event;
+}
+
+ServiceOptions tiny_options() {
+  ServiceOptions options;
+  options.machine = tiny_machine();
+  options.state.tagging.max_iteration_chunks = 64;
+  return options;
+}
+
+/// A small churn history: three arrivals (two sharing a data key), one
+/// departure, one late arrival.
+std::vector<ServeEvent> churn_events() {
+  std::vector<ServeEvent> events;
+  events.push_back(make_register(0, "a", "astro", 1.0 / 16.0, 2));
+  events.push_back(make_register(1 * kMillisecond, "b", "hf", 1.0 / 16.0, 2));
+  events.push_back(
+      make_register(2 * kMillisecond, "c", "astro", 1.0 / 16.0, 2));
+  events.push_back(make_depart(3 * kMillisecond, "b"));
+  events.push_back(make_register(4 * kMillisecond, "d", "sar", 1.0 / 16.0, 2));
+  return events;
+}
+
+// --- events ----------------------------------------------------------------
+
+TEST(ServeEvent, JsonRoundTripsEveryKind) {
+  std::vector<ServeEvent> events;
+  events.push_back(make_register(5, "w1", "astro", 0.25, 3));
+  events.push_back(make_depart(7, "w1"));
+  ServeEvent scale;
+  scale.at = 9;
+  scale.kind = EventKind::kScale;
+  scale.id = "w2";
+  scale.clients = 6;
+  events.push_back(scale);
+  ServeEvent fault;
+  fault.at = 11;
+  fault.kind = EventKind::kFault;
+  fault.fault_spec = "fail@11:l1.0";
+  events.push_back(fault);
+
+  for (const auto& event : events) {
+    const auto doc = parse_json(event_to_json(event));
+    const ServeEvent back = parse_serve_event(doc);
+    EXPECT_EQ(back.at, event.at);
+    EXPECT_EQ(back.kind, event.kind);
+    EXPECT_EQ(back.id, event.id);
+    EXPECT_EQ(back.workload, event.workload);
+    EXPECT_DOUBLE_EQ(back.size_factor, event.size_factor);
+    EXPECT_EQ(back.clients, event.clients);
+    EXPECT_EQ(back.fault_spec, event.fault_spec);
+  }
+}
+
+TEST(ServeEvent, ParserIgnoresJournalDecoration) {
+  const ServeEvent event = make_register(3, "w", "hf", 0.0625, 2);
+  std::string line = event_to_json(event);
+  ASSERT_EQ(line.back(), '}');
+  line.pop_back();
+  line += ",\"decision\":{\"scope\":\"patch\",\"reason\":\"ok\"}}";
+  const ServeEvent back = parse_serve_event(parse_json(line));
+  EXPECT_EQ(back.id, "w");
+  EXPECT_EQ(back.clients, 2u);
+}
+
+TEST(ServeEvent, RejectsUnknownTypeAndBadClients) {
+  EXPECT_THROW(
+      parse_serve_event(parse_json(
+          R"({"at":0,"event":"resize","id":"w"})")),
+      Error);
+  EXPECT_THROW(
+      parse_serve_event(parse_json(
+          R"({"at":0,"event":"register","id":"w","workload":"hf",)"
+          R"("size_factor":1.0,"clients":-4})")),
+      Error);
+  EXPECT_THROW(
+      parse_serve_event(parse_json(
+          R"({"at":0,"event":"register","id":"w","workload":"hf",)"
+          R"("size_factor":1.0,"clients":0})")),
+      Error);
+  // Malformed fault specs fail eagerly at parse time.
+  EXPECT_THROW(
+      parse_serve_event(parse_json(
+          R"({"at":0,"event":"fault","spec":"explode@0:everything"})")),
+      Error);
+}
+
+TEST(ServeEvent, StreamValidationNamesTheLine) {
+  const std::string header = stream_header_json(7, "tiny");
+  // Duplicate live register id.
+  {
+    std::ostringstream stream;
+    stream << header << "\n"
+           << event_to_json(make_register(0, "w", "hf", 0.0625, 1)) << "\n"
+           << event_to_json(make_register(1, "w", "hf", 0.0625, 1)) << "\n";
+    try {
+      parse_event_stream(stream.str());
+      FAIL() << "duplicate id accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Out-of-order timestamps.
+  {
+    std::ostringstream stream;
+    stream << header << "\n"
+           << event_to_json(make_register(5, "w", "hf", 0.0625, 1)) << "\n"
+           << event_to_json(make_depart(2, "w")) << "\n";
+    EXPECT_THROW(parse_event_stream(stream.str()), Error);
+  }
+  // Depart of an id that is not live.
+  {
+    std::ostringstream stream;
+    stream << header << "\n" << event_to_json(make_depart(0, "ghost")) << "\n";
+    EXPECT_THROW(parse_event_stream(stream.str()), Error);
+  }
+  // A register id may be reused once the first instance departed.
+  {
+    std::ostringstream stream;
+    stream << header << "\n"
+           << event_to_json(make_register(0, "w", "hf", 0.0625, 1)) << "\n"
+           << event_to_json(make_depart(1, "w")) << "\n"
+           << event_to_json(make_register(2, "w", "hf", 0.0625, 1)) << "\n";
+    EXPECT_EQ(parse_event_stream(stream.str()).size(), 3u);
+  }
+}
+
+// --- policy ----------------------------------------------------------------
+
+TEST(ServePolicy, ScopePausesAreTiered) {
+  ServePolicy policy;
+  policy.remap.remap_pause_ns = 1600;
+  EXPECT_EQ(scope_pause(policy, RemapScope::kFull), 1600u);
+  EXPECT_EQ(scope_pause(policy, RemapScope::kPartial), 400u);
+  EXPECT_EQ(scope_pause(policy, RemapScope::kPatch), 100u);
+  EXPECT_EQ(scope_pause(policy, RemapScope::kNone), 0u);
+}
+
+TEST(ServePolicy, ForcedScopesShortCircuit) {
+  ServePolicy policy;
+  PolicyInputs inputs;
+  inputs.imbalance_after_patch = 99.0;  // would escalate under kAuto
+  policy.force = ServePolicy::Force::kPatch;
+  EXPECT_EQ(decide_scope(policy, inputs).scope, RemapScope::kPatch);
+  policy.force = ServePolicy::Force::kPartial;
+  EXPECT_EQ(decide_scope(policy, inputs).scope, RemapScope::kPartial);
+  policy.force = ServePolicy::Force::kFull;
+  EXPECT_EQ(decide_scope(policy, inputs).scope, RemapScope::kFull);
+}
+
+TEST(ServePolicy, PatchWhileBalancedEscalatesWhenNot) {
+  ServePolicy policy;  // patch limit 0.25, full target 0.10
+  PolicyInputs inputs;
+  inputs.total_iterations = 1000;
+  inputs.now = 100 * kMillisecond;
+
+  inputs.imbalance_after_patch = 0.2;
+  EXPECT_EQ(decide_scope(policy, inputs).scope, RemapScope::kPatch);
+
+  // Imbalance past the limit but the projected saving is small: the
+  // excess over the full target times the run length is far below the
+  // 500us full pause, so the policy settles for a partial remap.
+  inputs.imbalance_after_patch = 0.4;
+  EXPECT_EQ(decide_scope(policy, inputs).scope, RemapScope::kPartial);
+
+  // A long enough projected run justifies the full pause.
+  inputs.total_iterations = 10'000'000'000ull;
+  EXPECT_EQ(decide_scope(policy, inputs).scope, RemapScope::kFull);
+
+  // ... unless a full recompute just happened (hysteresis).
+  inputs.any_full_yet = true;
+  inputs.last_full_at = inputs.now - 1;
+  EXPECT_EQ(decide_scope(policy, inputs).scope, RemapScope::kPartial);
+}
+
+TEST(ServePolicy, DriftDisqualifiesPatch) {
+  ServePolicy policy;
+  PolicyInputs inputs;
+  inputs.imbalance_after_patch = 0.0;
+  inputs.drift_exceeded = true;
+  inputs.now = 100 * kMillisecond;
+  const auto verdict = decide_scope(policy, inputs);
+  EXPECT_NE(verdict.scope, RemapScope::kPatch);
+}
+
+// --- state -----------------------------------------------------------------
+
+TEST(MappingState, RegisterPatchDepartKeepInvariants) {
+  MappingState state(tiny_machine());
+  DeltaStats stats;
+  const std::size_t a =
+      state.register_workload("a", "astro", 1.0 / 16.0, 2, nullptr, &stats);
+  auto plan = state.build_patch(a);
+  state.apply_patch(plan);
+  state.check_invariants();
+  EXPECT_EQ(state.num_live_workloads(), 1u);
+  EXPECT_GT(state.standing_chunks(), 0u);
+  EXPECT_GT(state.total_load(), 0u);
+
+  const std::size_t b =
+      state.register_workload("b", "hf", 1.0 / 16.0, 2, nullptr, &stats);
+  plan = state.build_patch(b);
+  // Distinct data keys never share tag bits, so b's chunks are brand-new
+  // components: the plan is all new clusters, no appends.
+  EXPECT_TRUE(plan.appends.empty());
+  EXPECT_FALSE(plan.new_clusters.empty());
+  const double predicted = state.simulate_patch(plan);
+  state.apply_patch(plan);
+  state.check_invariants();
+  EXPECT_DOUBLE_EQ(state.imbalance(), predicted);
+
+  const std::uint64_t load_with_b = state.total_load();
+  state.depart_workload(b);
+  state.check_invariants();
+  EXPECT_EQ(state.num_live_workloads(), 1u);
+  EXPECT_LT(state.total_load(), load_with_b);
+  // Every posting and cluster member of b is gone.
+  for (const auto& cluster : state.clusters()) {
+    for (const auto member : cluster.members) {
+      EXPECT_EQ(state.entries()[0].id, "a");
+      EXPECT_LT(member, state.entries()[0].num_chunks);
+    }
+  }
+}
+
+TEST(MappingState, SameDataKeyInstancesShareTagRange) {
+  MappingState state(tiny_machine());
+  DeltaStats stats;
+  const std::size_t a =
+      state.register_workload("a", "astro", 1.0 / 16.0, 2, nullptr, &stats);
+  const std::size_t b =
+      state.register_workload("b", "astro", 1.0 / 16.0, 2, nullptr, &stats);
+  EXPECT_EQ(state.entries()[a].tag_offset, state.entries()[b].tag_offset);
+  // The sibling copy path must produce identical chunk counts.
+  EXPECT_EQ(state.entries()[a].num_chunks, state.entries()[b].num_chunks);
+
+  const std::size_t c =
+      state.register_workload("c", "hf", 1.0 / 16.0, 2, nullptr, &stats);
+  EXPECT_NE(state.entries()[c].tag_offset, state.entries()[a].tag_offset);
+}
+
+TEST(MappingState, ScaleChangesCutTarget) {
+  MappingState state(tiny_machine());
+  DeltaStats stats;
+  const std::size_t a =
+      state.register_workload("a", "astro", 1.0 / 16.0, 2, nullptr, &stats);
+  state.apply_patch(state.build_patch(a));
+  const std::size_t before = state.cut_target();
+  state.set_requested_clients(a, 6);
+  EXPECT_EQ(state.cut_target(), std::min<std::size_t>(
+                                    6, state.standing_chunks()));
+  EXPECT_NE(state.cut_target(), before);
+  state.recut_all();
+  state.check_invariants();
+  EXPECT_EQ(state.clusters().size(), state.cut_target());
+}
+
+TEST(MappingState, FailStopKillsClientAndOrphansMove) {
+  MappingState state(tiny_machine());
+  DeltaStats stats;
+  const std::size_t a =
+      state.register_workload("a", "astro", 1.0 / 16.0, 4, nullptr, &stats);
+  state.apply_patch(state.build_patch(a));
+  const std::size_t alive_before = state.num_alive_clients();
+
+  state.apply_faults(resilience::parse_fault_spec("fail@0:l1.0"));
+  EXPECT_EQ(state.num_alive_clients(), alive_before - 1);
+  EXPECT_FALSE(state.client_alive()[0]);
+
+  const std::size_t moved = state.replace_orphans();
+  state.check_invariants();
+  EXPECT_EQ(state.client_load()[0], 0u);
+  for (const auto& cluster : state.clusters()) {
+    EXPECT_NE(cluster.client, 0u);
+  }
+  (void)moved;
+
+  // Recovery squashes out of the effective fault state.
+  state.apply_faults(resilience::parse_fault_spec("recover@1:l1.0"));
+  EXPECT_EQ(state.num_alive_clients(), alive_before);
+  const auto effective = state.effective_faults();
+  for (const auto& event : effective.events) {
+    EXPECT_NE(event.kind, resilience::FaultKind::kFailStop);
+  }
+}
+
+TEST(MappingState, EffectiveFaultsSquashToLastState) {
+  MappingState state(tiny_machine());
+  state.apply_faults(
+      resilience::parse_fault_spec("transient@0:disk=0.5; fail@1:l2.0"));
+  state.apply_faults(
+      resilience::parse_fault_spec("transient@2:disk=0.01; recover@3:l2.0"));
+  const auto effective = state.effective_faults();
+  double disk_rate = -1;
+  for (const auto& event : effective.events) {
+    EXPECT_EQ(event.at, 0u);  // everything re-stamped at t=0
+    EXPECT_NE(event.kind, resilience::FaultKind::kFailStop);
+    if (event.kind == resilience::FaultKind::kTransient) {
+      disk_rate = event.disk_error_rate;
+    }
+  }
+  EXPECT_DOUBLE_EQ(disk_rate, 0.01);  // later transient replaces earlier
+}
+
+// --- service oracles -------------------------------------------------------
+
+std::string end_fingerprint(const std::vector<ServeEvent>& events,
+                            std::size_t threads,
+                            ServePolicy::Force force,
+                            std::vector<ServeDecision>* decisions = nullptr) {
+  ServiceOptions options = tiny_options();
+  options.num_threads = threads;
+  options.policy.force = force;
+  MappingService service(options);
+  for (const auto& event : events) service.process(event);
+  service.state().check_invariants();
+  if (decisions) *decisions = service.decisions();
+  return service.state().fingerprint();
+}
+
+TEST(MappingService, EndStateIsThreadCountInvariant) {
+  const auto events = churn_events();
+  std::vector<ServeDecision> d1;
+  std::vector<ServeDecision> d2;
+  std::vector<ServeDecision> d4;
+  const std::string f1 =
+      end_fingerprint(events, 1, ServePolicy::Force::kAuto, &d1);
+  const std::string f2 =
+      end_fingerprint(events, 2, ServePolicy::Force::kAuto, &d2);
+  const std::string f4 =
+      end_fingerprint(events, 4, ServePolicy::Force::kAuto, &d4);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1, f4);
+  ASSERT_EQ(d1.size(), d4.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].scope, d4[i].scope) << "event " << i;
+    EXPECT_EQ(d1[i].reason, d4[i].reason) << "event " << i;
+  }
+}
+
+TEST(MappingService, ForcedFullMatchesFromScratchAfterChurn) {
+  // History: register a,b,c; depart b; register d — then one forced full.
+  auto history = churn_events();
+  ServeEvent full_probe = make_register(
+      5 * kMillisecond, "probe", "hf", 1.0 / 16.0, 2);
+  history.push_back(full_probe);
+
+  ServiceOptions options = tiny_options();
+  MappingService churned(options);
+  for (const auto& event : history) churned.process(event);
+  // Force the final full recompute directly.
+  ServiceOptions forced = tiny_options();
+  forced.policy.force = ServePolicy::Force::kFull;
+  MappingService churned_full(forced);
+  for (const auto& event : history) churned_full.process(event);
+
+  // From scratch: only the live set, registered fresh, forced full.
+  std::vector<ServeEvent> fresh;
+  fresh.push_back(make_register(0, "a", "astro", 1.0 / 16.0, 2));
+  fresh.push_back(make_register(1, "c", "astro", 1.0 / 16.0, 2));
+  fresh.push_back(make_register(2, "d", "sar", 1.0 / 16.0, 2));
+  fresh.push_back(make_register(3, "probe", "hf", 1.0 / 16.0, 2));
+  MappingService scratch(tiny_options());
+  for (const auto& event : fresh) scratch.process(event);
+
+  const std::string churned_fp = churned_full.state().fingerprint();
+  ServiceOptions scratch_full = tiny_options();
+  scratch_full.policy.force = ServePolicy::Force::kFull;
+  MappingService oracle(scratch_full);
+  for (const auto& event : fresh) oracle.process(event);
+  EXPECT_EQ(churned_fp, oracle.state().fingerprint());
+  // And the incremental (auto) churned state covers the same chunks.
+  EXPECT_EQ(churned.state().standing_chunks(),
+            oracle.state().standing_chunks());
+}
+
+TEST(MappingService, JournalReplaysToIdenticalState) {
+  const std::string journal_path =
+      testing::TempDir() + "/serve_journal_test.jsonl";
+  ServiceOptions options = tiny_options();
+  options.journal_path = journal_path;
+  std::string direct_fp;
+  {
+    MappingService service(options);
+    for (const auto& event : churn_events()) service.process(event);
+    direct_fp = service.state().fingerprint();
+  }
+  // The journal (with decision decoration) replays as an event stream.
+  const auto replayed = load_event_stream(journal_path);
+  ASSERT_EQ(replayed.size(), churn_events().size());
+  MappingService replay(tiny_options());
+  for (const auto& event : replayed) replay.process(event);
+  EXPECT_EQ(replay.state().fingerprint(), direct_fp);
+  std::remove(journal_path.c_str());
+}
+
+TEST(MappingService, PausesAndCountersAccumulate) {
+  ServiceOptions options = tiny_options();
+  MappingService service(options);
+  for (const auto& event : churn_events()) service.process(event);
+  EXPECT_EQ(service.decisions().size(), churn_events().size());
+  Nanoseconds sum = 0;
+  DeltaStats work;
+  for (const auto& d : service.decisions()) {
+    sum += d.pause;
+    work += d.delta;
+  }
+  EXPECT_EQ(service.total_pause(), sum);
+  EXPECT_GT(work.scored_pairs + work.forest_hooks, 0u);
+
+  const obs::RunRecord record = service.snapshot();
+  bool saw_workloads = false;
+  bool saw_clients = false;
+  bool saw_decisions = false;
+  bool saw_totals = false;
+  for (const auto& [name, table] : record.tables) {
+    saw_workloads |= name == "serve_workloads";
+    saw_clients |= name == "serve_clients";
+    saw_decisions |= name == "serve_decisions";
+    saw_totals |= name == "serve_totals";
+  }
+  EXPECT_TRUE(saw_workloads);
+  EXPECT_TRUE(saw_clients);
+  EXPECT_TRUE(saw_decisions);
+  EXPECT_TRUE(saw_totals);
+}
+
+TEST(MappingService, UnknownDepartIdThrows) {
+  MappingService service(tiny_options());
+  EXPECT_THROW(service.process(make_depart(0, "ghost")), Error);
+}
+
+}  // namespace
+}  // namespace mlsc::serve

@@ -26,6 +26,7 @@
 #include "core/client_codegen.h"
 #include "obs/metrics.h"
 #include "obs/run_record.h"
+#include "obs/session.h"
 #include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -82,13 +83,7 @@ void print_usage(std::ostream& out, const char* argv0) {
          "over the\n"
       << "                      surviving topology when the schedule "
          "fail-stops a node\n"
-      << "  --trace PATH        write a Chrome trace_event JSON timeline\n"
-      << "  --metrics PATH      write the metrics registry as JSON\n"
-      << "  --json PATH         write a run record (tables, phases, "
-         "metadata,\n"
-      << "                      metrics snapshot) for mlsc_bench_diff / "
-         "mlsc_report\n"
-      << "  --log-level L       debug|info|warn|error|off (default warn)\n"
+      << CommonToolOptions::usage()
       << "  --report KIND       stats|full|compare|mapping|codegen|csv (default stats)\n";
 }
 
@@ -103,9 +98,7 @@ int main(int argc, char** argv) {
   sim::SchemeSpec scheme = sim::SchemeSpec::inter();
   double alpha = 0.5;
   double beta = 0.5;
-  std::string trace_path;
-  std::string metrics_path;
-  std::string json_path;
+  CommonToolOptions common;
   std::string faults_arg;
   bool remap = false;
   sim::ResilienceSpec rspec;
@@ -114,19 +107,9 @@ int main(int argc, char** argv) {
   try {
     ArgParser args(argc, argv);
     while (args.next()) {
-      if (args.value_flag("--trace")) {
-        trace_path = args.value();
-      } else if (args.value_flag("--metrics")) {
-        metrics_path = args.value();
-      } else if (args.value_flag("--json")) {
-        json_path = args.value();
-      } else if (args.value_flag("--log-level")) {
-        LogLevel level;
-        if (!parse_log_level(args.value(), &level)) {
-          throw UsageError("--log-level: unknown level '" + args.value() +
-                           "'");
-        }
-        set_log_level(level);
+      if (common.match(args)) {
+        // --trace/--metrics/--json/--log-level handled by the shared
+        // helper.
       } else if (args.value_flag("--workload")) {
         workload_name = args.value();
       } else if (args.value_flag("--scheme")) {
@@ -238,17 +221,8 @@ int main(int argc, char** argv) {
     return kUsageExitCode;
   }
 
-  if (!trace_path.empty()) obs::start_trace(trace_path);
-  if (!metrics_path.empty()) obs::set_metrics_enabled(true);
-  // Flush the observability outputs on every exit path.
-  struct ObsFlush {
-    const std::string& trace;
-    const std::string& metrics;
-    ~ObsFlush() {
-      if (!trace.empty()) obs::stop_trace();
-      if (!metrics.empty()) obs::write_metrics_file(metrics);
-    }
-  } obs_flush{trace_path, metrics_path};
+  // Start trace/metrics recording; flushed on every exit path.
+  obs::ObsScope obs_scope(common.trace_path, common.metrics_path);
 
   obs::RunRecord record;
   record.binary = "mlsc_map";
@@ -259,12 +233,12 @@ int main(int argc, char** argv) {
   record.simd_level = DynamicBitset::simd_dispatch_level();
   record.hardware_threads = std::thread::hardware_concurrency();
   auto write_record = [&] {
-    if (json_path.empty()) return;
+    if (common.json_path.empty()) return;
     record.include_metrics = obs::metrics_enabled();
-    if (record.write_file(json_path)) {
-      std::cerr << "[mlsc_map] wrote " << json_path << "\n";
+    if (record.write_file(common.json_path)) {
+      std::cerr << "[mlsc_map] wrote " << common.json_path << "\n";
     } else {
-      std::cerr << "error: cannot write " << json_path << "\n";
+      std::cerr << "error: cannot write " << common.json_path << "\n";
     }
   };
 
