@@ -43,6 +43,11 @@ struct JsonState {
   // plumbing.
   Table movement{{"experiment", "level", "bytes_moved", "io_lower_bound",
                   "headroom_pct"}};
+  // With --explain, one row per (experiment, level) of the miss
+  // classification; written as one "insight" table on exit.
+  bool explain = false;
+  Table insight{{"experiment", "level", "misses", "compulsory", "capacity",
+                 "interference", "interference_miss_pct"}};
 };
 
 JsonState& json_state() {
@@ -92,6 +97,7 @@ void parse_common_flags(int argc, char** argv) {
   // for the binary (bench binaries take no other arguments).
   CommonToolOptions common;
   common.accept_reps = true;
+  common.accept_explain = true;
   try {
     ArgParser args(argc, argv);
     while (args.next()) {
@@ -99,9 +105,11 @@ void parse_common_flags(int argc, char** argv) {
     }
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n"
-              << CommonToolOptions::usage(/*with_reps=*/true);
+              << CommonToolOptions::usage(/*with_reps=*/true,
+                                          /*with_explain=*/true);
     std::exit(kUsageExitCode);
   }
+  state.explain = common.explain;
   state.path = common.json_path;
   state.metrics_path = common.metrics_path;
   state.repetitions = common.repetitions;
@@ -142,6 +150,9 @@ void write_json_output() {
   if (state.path.empty() || state.written) return;
   if (state.movement.num_rows() > 0) {
     state.record.tables.emplace_back("data movement", state.movement);
+  }
+  if (state.insight.num_rows() > 0) {
+    state.record.tables.emplace_back("insight", state.insight);
   }
   state.record.include_metrics = mlsc::obs::metrics_enabled();
   if (!state.record.write_file(state.path)) return;
@@ -205,13 +216,15 @@ sim::ExperimentResult run(const workloads::Workload& workload,
                           const sim::MachineConfig& config) {
   std::cerr << "[bench] " << workload.name << " / " << scheme.name() << " / "
             << config.to_string() << "\n";
+  JsonState& state = json_state();
+  sim::MachineConfig effective = config;
+  if (state.explain) effective.explain = true;
   const auto start = std::chrono::steady_clock::now();
-  auto result = run_experiment(workload, scheme, config);
+  auto result = run_experiment(workload, scheme, effective);
   record_phase(workload.name + "/" + scheme.name(),
                std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - start)
                    .count());
-  JsonState& state = json_state();
   if (!state.path.empty()) {
     for (const auto& row : result.movement) {
       state.movement.add_row(
@@ -219,6 +232,14 @@ sim::ExperimentResult run(const workloads::Workload& workload,
            std::to_string(row.bytes_moved),
            std::to_string(row.io_lower_bound),
            format_double(row.headroom_pct, 2)});
+    }
+    for (const auto& level : result.engine.insight.levels) {
+      state.insight.add_row(
+          {workload.name + "/" + scheme.name(), level.level_name(),
+           std::to_string(level.misses), std::to_string(level.compulsory),
+           std::to_string(level.capacity),
+           std::to_string(level.interference),
+           format_double(level.interference_miss_pct(), 2)});
     }
   }
   return result;

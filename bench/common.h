@@ -17,6 +17,10 @@
 //   --reps=N          timing repetitions for benches that time code
 //                     (stamped into the run record for the diff tool's
 //                     noise margin; default 1)
+//   --explain         attach the cache-insight profiler to every
+//                     experiment; with --json the record gains an
+//                     "insight" table of per-level miss classes
+//                     (DESIGN.md §18)
 //   --log-level=L     debug|info|warn|error|off (default warn)
 #pragma once
 

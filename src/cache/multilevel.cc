@@ -1,5 +1,6 @@
 #include "cache/multilevel.h"
 
+#include "obs/cache_insight.h"
 #include "obs/metrics.h"
 #include "support/check.h"
 
@@ -245,6 +246,29 @@ CacheStats MultiLevelCache::aggregate_stats(topology::NodeKind kind) const {
     }
   }
   return total;
+}
+
+void MultiLevelCache::attach_insight(obs::HierarchyInsight& insight) {
+  for (topology::NodeId id = 0; id < tree_.num_nodes(); ++id) {
+    if (caches_[id] == nullptr) continue;
+    int level = 0;
+    switch (tree_.node(id).kind) {
+      case topology::NodeKind::kCompute:
+        level = 1;
+        break;
+      case topology::NodeKind::kIo:
+        level = 2;
+        break;
+      case topology::NodeKind::kStorage:
+        level = 3;
+        break;
+      case topology::NodeKind::kDummyRoot:
+        continue;
+    }
+    caches_[id]->set_insight(&insight.add_cache(
+        tree_.node(id).name, level,
+        static_cast<std::uint64_t>(base_chunks_[id])));
+  }
 }
 
 void MultiLevelCache::reset_stats() {

@@ -17,6 +17,10 @@
 #include "cache/storage_cache.h"
 #include "topology/hierarchy.h"
 
+namespace mlsc::obs {
+class HierarchyInsight;
+}  // namespace mlsc::obs
+
 namespace mlsc::cache {
 
 enum class PlacementMode {
@@ -108,6 +112,12 @@ class MultiLevelCache {
   CacheStats aggregate_stats(topology::NodeKind kind) const;
 
   void reset_stats();
+
+  /// Creates one explanation observer per cached node inside `insight`
+  /// (level 1/2/3 from the node kind, the same split aggregate_stats
+  /// uses) and wires it into the cache.  `insight` must outlive the
+  /// hierarchy; call once per MultiLevelCache.
+  void attach_insight(obs::HierarchyInsight& insight);
 
   const topology::HierarchyTree& tree() const { return tree_; }
   PlacementMode placement() const { return placement_; }

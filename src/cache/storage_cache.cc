@@ -1,5 +1,6 @@
 #include "cache/storage_cache.h"
 
+#include "obs/cache_insight.h"
 #include "obs/metrics.h"
 
 namespace mlsc::cache {
@@ -49,10 +50,12 @@ bool StorageCache::access(ChunkId id) {
     if (metrics_.bytes_served != nullptr) {
       metrics_.bytes_served->add(chunk_size_bytes_);
     }
+    if (insight_ != nullptr) insight_->on_access(id, /*hit=*/true);
     return true;
   }
   ++stats_.misses;
   if (metrics_.misses != nullptr) metrics_.misses->inc();
+  if (insight_ != nullptr) insight_->on_access(id, /*hit=*/false);
   return false;
 }
 
@@ -63,6 +66,10 @@ std::optional<StorageCache::Evicted> StorageCache::insert(ChunkId id) {
   if (metrics_.insertions != nullptr) metrics_.insertions->inc();
   if (metrics_.bytes_filled != nullptr) {
     metrics_.bytes_filled->add(chunk_size_bytes_);
+  }
+  if (insight_ != nullptr) {
+    insight_->on_fill(id);
+    if (evicted.has_value()) insight_->on_evict(*evicted);
   }
   if (!evicted.has_value()) return std::nullopt;
   ++stats_.evictions;
@@ -80,6 +87,12 @@ void StorageCache::mark_dirty(ChunkId id) {
   if (core_->contains(id)) dirty_.insert(id);
 }
 
+bool StorageCache::erase(ChunkId id) {
+  dirty_.erase(id);
+  if (insight_ != nullptr) insight_->on_erase(id);
+  return core_->erase(id);
+}
+
 void StorageCache::clear() { set_capacity(core_->capacity()); }
 
 void StorageCache::set_capacity(std::size_t capacity_chunks) {
@@ -87,6 +100,7 @@ void StorageCache::set_capacity(std::size_t capacity_chunks) {
   // cold, which is exactly the fail-stop / degraded-restart semantics.
   core_ = make_policy(core_->kind(), capacity_chunks);
   dirty_.clear();
+  if (insight_ != nullptr) insight_->on_reset(capacity_chunks);
 }
 
 }  // namespace mlsc::cache

@@ -11,6 +11,7 @@
 #include "cache/policy.h"
 
 namespace mlsc::obs {
+class CacheInsight;
 class Counter;
 }  // namespace mlsc::obs
 
@@ -71,10 +72,7 @@ class StorageCache {
   bool is_dirty(ChunkId id) const { return dirty_.count(id) != 0; }
 
   /// Invalidates a chunk (used by exclusive-caching placement).
-  bool erase(ChunkId id) {
-    dirty_.erase(id);
-    return core_->erase(id);
-  }
+  bool erase(ChunkId id);
 
   /// Drops every resident chunk (fail-stop: contents are lost, dirty data
   /// included).  Statistics survive; the policy core restarts cold.
@@ -92,6 +90,12 @@ class StorageCache {
   /// when metrics are disabled at call time; binding is per instance so
   /// several caches may share one prefix (their counts then sum).
   void bind_metrics(const std::string& prefix);
+
+  /// Attaches (or detaches, with nullptr) the explanation observer
+  /// (obs/cache_insight.h): every stat-counting event is mirrored to it
+  /// so reuse distances, miss classes and eviction attribution stay in
+  /// lockstep with `stats()`.  Costs one null test per event when off.
+  void set_insight(obs::CacheInsight* insight) { insight_ = insight; }
 
  private:
   struct BoundCounters {
@@ -111,6 +115,7 @@ class StorageCache {
   CacheStats stats_;
   std::unordered_set<ChunkId> dirty_;
   BoundCounters metrics_;
+  obs::CacheInsight* insight_ = nullptr;
 };
 
 }  // namespace mlsc::cache

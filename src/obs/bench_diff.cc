@@ -156,6 +156,33 @@ void flatten_metrics_section(const JsonValue& record,
   }
 }
 
+/// The run record's "insight" section (cache-behavior explanation,
+/// DESIGN.md §18): per-level miss classes as insight.<level>.<field>.
+/// Everything here is simulated and deterministic; the "insight" name
+/// routes the metrics into the guarded set.  The capacity curves and
+/// eviction matrices are rendered by mlsc_report, not diffed cell by
+/// cell — the scalar class counts already pin the behaviour.
+void flatten_insight_section(const JsonValue& record,
+                             std::vector<FlatMetric>* out) {
+  const JsonValue* insight = record.find("insight");
+  if (insight == nullptr || !insight->is_object()) return;
+  const JsonValue* levels = insight->find("levels");
+  if (levels == nullptr || !levels->is_array()) return;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const JsonValue& level : levels->as_array()) {
+    const JsonValue* name = level.find("level");
+    if (name == nullptr || !name->is_string()) continue;
+    for (const char* field :
+         {"accesses", "hits", "misses", "compulsory", "capacity",
+          "interference", "interference_miss_pct"}) {
+      const JsonValue* value = level.find(field);
+      if (value == nullptr || !value->is_number()) continue;
+      out->push_back({"insight." + name->as_string() + "." + field,
+                      value->number_or(nan), MetricNoise::kDeterministic});
+    }
+  }
+}
+
 double effective_threshold(MetricNoise noise, const DiffOptions& options,
                            std::size_t repetitions) {
   if (noise == MetricNoise::kDeterministic) return options.det_threshold;
@@ -225,19 +252,24 @@ bool is_guarded_metric(std::string_view name) {
   // work_ratio / _pairs: the serve delta-vs-full mapping-work counts
   // (bench_churn) — counted, not timed, so exact.
   // _decisions: the serve policy's decision mix over a fixed script.
+  // insight: the cache-behavior explanation (miss classes, interference
+  // attribution) — derived from the deterministic replay, so any drift
+  // means the classification or the replay itself changed.
   return lower.find("reduction_ratio") != std::string::npos ||
          lower.find("headroom") != std::string::npos ||
          lower.find("io_lower_bound") != std::string::npos ||
          lower.find("bytes_moved") != std::string::npos ||
          lower.find("work_ratio") != std::string::npos ||
          lower.find("_pairs") != std::string::npos ||
-         lower.find("_decisions") != std::string::npos;
+         lower.find("_decisions") != std::string::npos ||
+         lower.find("insight") != std::string::npos;
 }
 
 std::vector<FlatMetric> flatten_run_record(const JsonValue& record) {
   std::vector<FlatMetric> out;
   flatten_tables(record, &out);
   flatten_phases(record, &out);
+  flatten_insight_section(record, &out);
   flatten_metrics_section(record, &out);
   return out;
 }
@@ -367,7 +399,11 @@ DiffResult diff_run_records(const JsonValue& baseline,
   return result;
 }
 
-bool parse_min_assertion(std::string_view spec, MinAssertion* out) {
+namespace {
+
+/// Shared "metric:value" parser for the min/max assertion specs.
+bool parse_metric_bound(std::string_view spec, std::string* metric,
+                        double* bound) {
   const std::size_t colon = spec.rfind(':');
   if (colon == std::string_view::npos || colon == 0 ||
       colon + 1 >= spec.size()) {
@@ -375,38 +411,84 @@ bool parse_min_assertion(std::string_view spec, MinAssertion* out) {
   }
   const std::string value(spec.substr(colon + 1));
   char* end = nullptr;
-  const double min = std::strtod(value.c_str(), &end);
-  if (end != value.c_str() + value.size() || !std::isfinite(min)) {
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !std::isfinite(parsed)) {
     return false;
   }
-  out->metric = std::string(spec.substr(0, colon));
-  out->min = min;
+  *metric = std::string(spec.substr(0, colon));
+  *bound = parsed;
   return true;
+}
+
+/// Looks `metric` up in the record's flattened metrics; appends a
+/// failure line and returns false when absent or non-finite.
+bool lookup_metric(const std::map<std::string, double>& by_name,
+                   const std::string& metric, const char* what,
+                   std::vector<std::string>* failures, double* value) {
+  const auto it = by_name.find(metric);
+  if (it == by_name.end()) {
+    failures->push_back(std::string(what) + ": metric '" + metric +
+                        "' not found in record");
+    return false;
+  }
+  if (!std::isfinite(it->second)) {
+    failures->push_back(std::string(what) + ": metric '" + metric +
+                        "' is not finite");
+    return false;
+  }
+  *value = it->second;
+  return true;
+}
+
+std::map<std::string, double> metrics_by_name(const JsonValue& record) {
+  std::map<std::string, double> by_name;
+  for (const FlatMetric& m : flatten_run_record(record)) {
+    by_name.emplace(m.name, m.value);
+  }
+  return by_name;
+}
+
+}  // namespace
+
+bool parse_min_assertion(std::string_view spec, MinAssertion* out) {
+  return parse_metric_bound(spec, &out->metric, &out->min);
+}
+
+bool parse_max_assertion(std::string_view spec, MaxAssertion* out) {
+  return parse_metric_bound(spec, &out->metric, &out->max);
 }
 
 std::vector<std::string> check_min_assertions(
     const JsonValue& record, const std::vector<MinAssertion>& assertions) {
-  const std::vector<FlatMetric> metrics = flatten_run_record(record);
-  std::map<std::string, double> by_name;
-  for (const FlatMetric& m : metrics) by_name.emplace(m.name, m.value);
-
+  const auto by_name = metrics_by_name(record);
   std::vector<std::string> failures;
   for (const MinAssertion& a : assertions) {
-    const auto it = by_name.find(a.metric);
-    if (it == by_name.end()) {
-      failures.push_back("assert-min: metric '" + a.metric +
-                         "' not found in record");
+    double value = 0.0;
+    if (!lookup_metric(by_name, a.metric, "assert-min", &failures, &value)) {
       continue;
     }
-    if (!std::isfinite(it->second)) {
-      failures.push_back("assert-min: metric '" + a.metric +
-                         "' is not finite");
-      continue;
-    }
-    if (it->second < a.min) {
+    if (value < a.min) {
       failures.push_back("assert-min: " + a.metric + " = " +
-                         format_double(it->second, 4) + " < required " +
+                         format_double(value, 4) + " < required " +
                          format_double(a.min, 4));
+    }
+  }
+  return failures;
+}
+
+std::vector<std::string> check_max_assertions(
+    const JsonValue& record, const std::vector<MaxAssertion>& assertions) {
+  const auto by_name = metrics_by_name(record);
+  std::vector<std::string> failures;
+  for (const MaxAssertion& a : assertions) {
+    double value = 0.0;
+    if (!lookup_metric(by_name, a.metric, "assert-max", &failures, &value)) {
+      continue;
+    }
+    if (value > a.max) {
+      failures.push_back("assert-max: " + a.metric + " = " +
+                         format_double(value, 4) + " > allowed " +
+                         format_double(a.max, 4));
     }
   }
   return failures;

@@ -132,6 +132,20 @@ bool parse_min_assertion(std::string_view spec, MinAssertion* out);
 std::vector<std::string> check_min_assertions(
     const JsonValue& record, const std::vector<MinAssertion>& assertions);
 
+/// The complement of MinAssertion: a ceiling on one metric of the
+/// current record — `metric` must be <= `max`.  CI uses these to cap
+/// quantities that must not creep up, e.g. the sar workload's
+/// insight.l2.interference_miss_pct under the inter-processor mapping.
+struct MaxAssertion {
+  std::string metric;
+  double max = 0.0;
+};
+
+bool parse_max_assertion(std::string_view spec, MaxAssertion* out);
+
+std::vector<std::string> check_max_assertions(
+    const JsonValue& record, const std::vector<MaxAssertion>& assertions);
+
 /// The delta table: every interesting row (regressions, improvements,
 /// missing/new), plus all compared rows when `all` is set.  With
 /// `color`, verdict cells wear ANSI SGR colors (Table::print is

@@ -1,0 +1,325 @@
+#include "obs/cache_insight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "support/string_util.h"
+
+namespace mlsc::obs {
+
+// --- MattsonStack ---------------------------------------------------------
+
+void MattsonStack::fenwick_add(std::size_t slot, std::int64_t delta) {
+  for (std::size_t i = slot + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i] += delta;
+  }
+}
+
+std::uint64_t MattsonStack::fenwick_prefix(std::size_t slot) const {
+  std::int64_t sum = 0;
+  for (std::size_t i = slot + 1; i > 0; i -= i & (~i + 1)) {
+    sum += fenwick_[i];
+  }
+  return static_cast<std::uint64_t>(sum);
+}
+
+void MattsonStack::renumber(std::size_t new_capacity) {
+  std::vector<std::uint32_t> order;
+  order.reserve(last_slot_.size());
+  for (std::size_t s = 0; s < live_.size(); ++s) {
+    if (live_[s] != 0) order.push_back(slot_chunk_[s]);
+  }
+  fenwick_.assign(new_capacity + 1, 0);
+  slot_chunk_.assign(new_capacity, 0);
+  live_.assign(new_capacity, 0);
+  next_slot_ = 0;
+  for (std::uint32_t chunk : order) {
+    slot_chunk_[next_slot_] = chunk;
+    live_[next_slot_] = 1;
+    fenwick_add(next_slot_, +1);
+    last_slot_[chunk] = static_cast<std::uint32_t>(next_slot_);
+    ++next_slot_;
+  }
+}
+
+std::uint64_t MattsonStack::access(std::uint32_t chunk) {
+  std::uint64_t distance = kFirstTouch;
+  std::size_t live_count = last_slot_.size();
+  const auto it = last_slot_.find(chunk);
+  if (it != last_slot_.end()) {
+    const std::size_t old = it->second;
+    // Distinct chunks touched since the previous access to `chunk` =
+    // live slots strictly newer than its old slot.
+    distance = static_cast<std::uint64_t>(live_count) - fenwick_prefix(old);
+    fenwick_add(old, -1);
+    live_[old] = 0;
+    --live_count;  // the chunk's own slot died; the map entry is reused
+  }
+  if (next_slot_ == live_.size()) {
+    // The slot array is full: compact in place when at most half the
+    // slots are live, otherwise double first — amortized O(1) growth.
+    std::size_t capacity = std::max<std::size_t>(live_.size(), 1024);
+    if (live_count * 2 > capacity) capacity *= 2;
+    renumber(capacity);
+  }
+  slot_chunk_[next_slot_] = chunk;
+  live_[next_slot_] = 1;
+  fenwick_add(next_slot_, +1);
+  last_slot_[chunk] = static_cast<std::uint32_t>(next_slot_);
+  ++next_slot_;
+  return distance;
+}
+
+void MattsonStack::clear() {
+  fenwick_.clear();
+  slot_chunk_.clear();
+  live_.clear();
+  last_slot_.clear();
+  next_slot_ = 0;
+}
+
+// --- CacheInsight ---------------------------------------------------------
+
+CacheInsight::CacheInsight(std::string name, int level,
+                           std::uint64_t capacity_chunks,
+                           const HierarchyInsight& owner)
+    : name_(std::move(name)),
+      level_(level),
+      configured_capacity_(capacity_chunks),
+      current_capacity_(capacity_chunks),
+      owner_(owner),
+      solo_(owner.num_clients()),
+      hist_(static_cast<std::size_t>(4 * capacity_chunks), 0),
+      eviction_matrix_(static_cast<std::size_t>(owner.num_clients()) *
+                           owner.num_clients(),
+                       0) {}
+
+void CacheInsight::on_access(std::uint32_t chunk, bool hit) {
+  ++accesses_;
+  const std::uint32_t client = owner_.current_client();
+  const std::uint64_t d = shared_.access(chunk);
+  if (d == MattsonStack::kFirstTouch) {
+    ++first_touches_;
+  } else if (d < hist_.size()) {
+    ++hist_[d];
+  } else {
+    ++overflow_;
+  }
+  const std::uint64_t solo_d = client < solo_.size()
+                                   ? solo_[client].access(chunk)
+                                   : MattsonStack::kFirstTouch;
+  owner_client_[chunk] = client;  // last toucher, for victim attribution
+  if (hit) {
+    ++hits_;
+    return;
+  }
+  ++misses_;
+  if (d == MattsonStack::kFirstTouch) {
+    // Nobody has touched the chunk at this cache (since the last cold
+    // restart): unavoidable at any capacity.
+    ++compulsory_;
+  } else if (solo_d == MattsonStack::kFirstTouch ||
+             solo_d >= current_capacity_) {
+    // Running alone, this client would still miss — either it never
+    // touched the chunk itself, or its own reuse distance does not fit.
+    ++capacity_class_;
+  } else {
+    // The client's solo stream would have hit; only co-runners pushing
+    // the chunk down the shared stack made this a miss.
+    ++interference_;
+  }
+}
+
+void CacheInsight::on_fill(std::uint32_t chunk) {
+  owner_client_[chunk] = owner_.current_client();
+}
+
+void CacheInsight::on_evict(std::uint32_t victim) {
+  const std::uint32_t evictor = owner_.current_client();
+  const auto it = owner_client_.find(victim);
+  const std::uint32_t victim_owner =
+      it != owner_client_.end() ? it->second : evictor;
+  const std::size_t n = owner_.num_clients();
+  if (victim_owner < n && evictor < n) {
+    ++eviction_matrix_[static_cast<std::size_t>(victim_owner) * n + evictor];
+  }
+  if (it != owner_client_.end()) owner_client_.erase(it);
+}
+
+void CacheInsight::on_erase(std::uint32_t chunk) {
+  owner_client_.erase(chunk);
+}
+
+void CacheInsight::on_reset(std::uint64_t capacity_chunks) {
+  shared_.clear();
+  for (MattsonStack& stack : solo_) stack.clear();
+  owner_client_.clear();
+  current_capacity_ = capacity_chunks > 0 ? capacity_chunks : 1;
+}
+
+std::uint64_t CacheInsight::predicted_misses(std::uint64_t capacity) const {
+  std::uint64_t predicted = first_touches_ + overflow_;
+  const std::size_t from = static_cast<std::size_t>(
+      std::min<std::uint64_t>(capacity, hist_.size()));
+  for (std::size_t d = from; d < hist_.size(); ++d) predicted += hist_[d];
+  return predicted;
+}
+
+void CacheInsight::accumulate(LevelInsight& out) const {
+  out.accesses += accesses_;
+  out.hits += hits_;
+  out.misses += misses_;
+  out.compulsory += compulsory_;
+  out.capacity += capacity_class_;
+  out.interference += interference_;
+  for (CurvePoint& point : out.curve) {
+    point.predicted_misses += predicted_misses(point.capacity_chunks);
+  }
+  if (out.eviction_matrix.size() == eviction_matrix_.size()) {
+    for (std::size_t i = 0; i < eviction_matrix_.size(); ++i) {
+      out.eviction_matrix[i] += eviction_matrix_[i];
+    }
+  }
+}
+
+// --- HierarchyInsight -----------------------------------------------------
+
+CacheInsight& HierarchyInsight::add_cache(std::string name, int level,
+                                          std::uint64_t capacity_chunks) {
+  caches_.push_back(std::make_unique<CacheInsight>(std::move(name), level,
+                                                   capacity_chunks, *this));
+  return *caches_.back();
+}
+
+std::uint64_t HierarchyInsight::level_misses(int level) const {
+  std::uint64_t total = 0;
+  for (const auto& cache : caches_) {
+    if (cache->level() == level) total += cache->misses();
+  }
+  return total;
+}
+
+std::uint64_t HierarchyInsight::level_interference(int level) const {
+  std::uint64_t total = 0;
+  for (const auto& cache : caches_) {
+    if (cache->level() == level) total += cache->interference();
+  }
+  return total;
+}
+
+namespace {
+
+/// Log-spaced capacity grid from one chunk to 4x the configured
+/// capacity, force-including every distinct configured capacity so the
+/// curve always carries the point the measured miss count lives at.
+std::vector<CurvePoint> make_curve_grid(
+    std::uint64_t max_capacity, const std::vector<std::uint64_t>& configured) {
+  constexpr int kPoints = 32;
+  const std::uint64_t top = std::max<std::uint64_t>(4 * max_capacity, 1);
+  std::vector<std::uint64_t> capacities;
+  capacities.reserve(kPoints + configured.size());
+  const double hi = std::log(static_cast<double>(top));
+  for (int i = 0; i < kPoints; ++i) {
+    const double f = kPoints == 1 ? hi : hi * i / (kPoints - 1);
+    const auto c = static_cast<std::uint64_t>(std::llround(std::exp(f)));
+    capacities.push_back(std::max<std::uint64_t>(c, 1));
+  }
+  capacities.insert(capacities.end(), configured.begin(), configured.end());
+  std::sort(capacities.begin(), capacities.end());
+  capacities.erase(std::unique(capacities.begin(), capacities.end()),
+                   capacities.end());
+  std::vector<CurvePoint> curve;
+  curve.reserve(capacities.size());
+  for (std::uint64_t c : capacities) curve.push_back(CurvePoint{c, 0});
+  return curve;
+}
+
+}  // namespace
+
+InsightResult HierarchyInsight::finalize() const {
+  InsightResult result;
+  result.num_clients = num_clients_;
+  for (int level = 1; level <= 3; ++level) {
+    std::uint64_t max_capacity = 0;
+    std::vector<std::uint64_t> configured;
+    for (const auto& cache : caches_) {
+      if (cache->level() != level) continue;
+      max_capacity = std::max(max_capacity, cache->configured_capacity());
+      configured.push_back(cache->configured_capacity());
+    }
+    if (configured.empty()) continue;
+    LevelInsight out;
+    out.level = level;
+    out.capacity_chunks = max_capacity;
+    out.curve = make_curve_grid(max_capacity, configured);
+    out.eviction_matrix.assign(
+        static_cast<std::size_t>(num_clients_) * num_clients_, 0);
+    for (const auto& cache : caches_) {
+      if (cache->level() == level) cache->accumulate(out);
+    }
+    result.levels.push_back(std::move(out));
+  }
+  return result;
+}
+
+// --- results --------------------------------------------------------------
+
+const char* LevelInsight::level_name() const {
+  switch (level) {
+    case 1:
+      return "l1";
+    case 2:
+      return "l2";
+    case 3:
+      return "l3";
+    default:
+      return "l?";
+  }
+}
+
+const LevelInsight* InsightResult::level(int which) const {
+  for (const LevelInsight& l : levels) {
+    if (l.level == which) return &l;
+  }
+  return nullptr;
+}
+
+void write_insight_json(std::ostream& out, const InsightResult& insight) {
+  out << "{\"num_clients\": " << insight.num_clients << ", \"levels\": [";
+  for (std::size_t i = 0; i < insight.levels.size(); ++i) {
+    const LevelInsight& level = insight.levels[i];
+    if (i != 0) out << ",";
+    out << "\n   {\"level\": ";
+    write_json_string(out, level.level_name());
+    out << ", \"capacity_chunks\": " << level.capacity_chunks
+        << ", \"accesses\": " << level.accesses << ", \"hits\": " << level.hits
+        << ", \"misses\": " << level.misses
+        << ",\n    \"compulsory\": " << level.compulsory
+        << ", \"capacity\": " << level.capacity
+        << ", \"interference\": " << level.interference
+        << ", \"interference_miss_pct\": "
+        << json_number(level.interference_miss_pct())
+        << ",\n    \"curve\": [";
+    for (std::size_t p = 0; p < level.curve.size(); ++p) {
+      if (p != 0) out << ", ";
+      out << "[" << level.curve[p].capacity_chunks << ", "
+          << level.curve[p].predicted_misses << "]";
+    }
+    out << "],\n    \"eviction_matrix\": [";
+    const std::size_t n = insight.num_clients;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v != 0) out << ",";
+      out << "\n     [";
+      for (std::size_t e = 0; e < n; ++e) {
+        if (e != 0) out << ", ";
+        out << level.eviction_matrix[v * n + e];
+      }
+      out << "]";
+    }
+    out << (n == 0 ? "]" : "\n    ]") << "}";
+  }
+  out << (insight.levels.empty() ? "]" : "\n  ]") << "}";
+}
+
+}  // namespace mlsc::obs

@@ -1,0 +1,223 @@
+// Cache-behavior explanation: single-pass Mattson reuse-distance
+// profiling, miss classification, and inter-client interference
+// attribution (DESIGN.md §18).
+//
+// One CacheInsight instance rides along with one StorageCache (wired by
+// MultiLevelCache::attach_insight) and observes every stat-counting
+// event — access, fill, eviction, invalidation, cold restart.  From that
+// stream it derives, per cache instance:
+//
+//   - the exact reuse-distance histogram of the *shared* access stream
+//     (a Fenwick-tree order-statistic structure over the LRU stack, the
+//     classic Bennett–Kruskal formulation of Mattson's one-pass
+//     algorithm), from which the miss-ratio-vs-capacity curve for every
+//     capacity up to 4x the configured one falls out of one replay;
+//   - a classification of every miss as compulsory (first touch at this
+//     cache), capacity (would still miss if the client ran alone — its
+//     solo reuse distance meets or exceeds the capacity), or
+//     interference (would have *hit* alone; the miss exists only because
+//     other clients pushed the chunk out).  "Alone" is decided by a
+//     per-client shadow stack over the client's own stream as it arrives
+//     at this cache — exact for the shared levels because the private L1
+//     filters each client's stream independently of co-runners.  The
+//     three classes partition CacheStats::misses by construction.
+//   - an eviction-attribution matrix (victim-owner client x evictor
+//     client) naming who pushed out whose data.
+//
+// All state is per cache instance (no globals, no atomics), so the
+// layer is deterministic at any thread count and survives the planned
+// per-cache-domain sharding of the engine.  When insight is off the
+// only cost in the cache hot path is one null-pointer test per event.
+//
+// The capacity curve is bit-exact for LRU under access-based placement
+// with no prefetch/exclusive-invalidate perturbation (the default
+// machine): an LRU cache of capacity C hits exactly when the shared
+// reuse distance is < C, so the curve evaluated at the configured
+// capacity reproduces CacheStats::misses.  Cold restarts (fail-stop /
+// degraded capacity) reset the stacks, preserving the identity within
+// each epoch.  Non-stack policies (FIFO/CLOCK/...) and placements that
+// insert without an access keep the exact classification partition but
+// make the curve a stack-model approximation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mlsc::obs {
+
+/// Exclusive reuse distances of one access stream, computed online.
+/// access() returns the number of *distinct* chunks touched since the
+/// previous access to `chunk` (kFirstTouch when there was none) and
+/// pushes the chunk to the top of the stack.  Internally: each access
+/// occupies a time slot, a Fenwick tree counts live slots, and the
+/// distance is the count of live slots after the chunk's previous slot;
+/// the slot array is compacted (or doubled) when it fills, so the
+/// amortized cost per access is O(log n) in the number of live chunks.
+class MattsonStack {
+ public:
+  static constexpr std::uint64_t kFirstTouch = ~0ull;
+
+  std::uint64_t access(std::uint32_t chunk);
+
+  /// Forgets everything (cold restart): the next access to any chunk is
+  /// a first touch again, matching a cache that lost its contents.
+  void clear();
+
+  std::size_t live_chunks() const { return last_slot_.size(); }
+
+ private:
+  void renumber(std::size_t new_capacity);
+  void fenwick_add(std::size_t slot, std::int64_t delta);
+  std::uint64_t fenwick_prefix(std::size_t slot) const;  // sum slots [0, slot]
+
+  std::vector<std::int64_t> fenwick_;     // 1-based BIT over time slots
+  std::vector<std::uint32_t> slot_chunk_; // slot -> chunk (when live)
+  std::vector<char> live_;                // slot -> occupied?
+  std::unordered_map<std::uint32_t, std::uint32_t> last_slot_;  // chunk -> slot
+  std::size_t next_slot_ = 0;
+};
+
+/// One point of a miss-ratio-vs-capacity curve: the misses an LRU cache
+/// of `capacity_chunks` would have taken on the observed stream.
+struct CurvePoint {
+  std::uint64_t capacity_chunks = 0;
+  std::uint64_t predicted_misses = 0;
+};
+
+/// Per-level aggregation of every CacheInsight at that level.
+struct LevelInsight {
+  int level = 0;                      // 1 = client, 2 = I/O, 3 = storage
+  std::uint64_t capacity_chunks = 0;  // configured per-instance capacity
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  // The miss classes; compulsory + capacity + interference == misses.
+  std::uint64_t compulsory = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t interference = 0;
+  /// Capacity curve, log-spaced from one chunk to 4x configured; always
+  /// contains the configured capacity itself.
+  std::vector<CurvePoint> curve;
+  /// victim-major num_clients x num_clients counts: entry [v * n + e] is
+  /// how often client e's fill evicted a chunk last used by client v.
+  std::vector<std::uint64_t> eviction_matrix;
+
+  double interference_miss_pct() const {
+    return misses == 0 ? 0.0
+                       : 100.0 * static_cast<double>(interference) /
+                             static_cast<double>(misses);
+  }
+  const char* level_name() const;
+};
+
+struct InsightResult {
+  std::uint32_t num_clients = 0;
+  std::vector<LevelInsight> levels;  // ascending level order
+
+  bool empty() const { return levels.empty(); }
+  const LevelInsight* level(int which) const;
+};
+
+/// Writes the run record's "insight" section value (a JSON object).
+void write_insight_json(std::ostream& out, const InsightResult& insight);
+
+class HierarchyInsight;
+
+/// The observer riding along with one StorageCache.  The cache calls the
+/// on_* hooks from the exact sites that update CacheStats, so the
+/// derived counts stay in lockstep with the published statistics.
+class CacheInsight {
+ public:
+  CacheInsight(std::string name, int level, std::uint64_t capacity_chunks,
+               const HierarchyInsight& owner);
+
+  /// One counted lookup; `hit` mirrors the CacheStats outcome.
+  void on_access(std::uint32_t chunk, bool hit);
+  /// The chunk became resident (insert), charged to the current client.
+  void on_fill(std::uint32_t chunk);
+  /// `victim` was evicted by the fill in progress.
+  void on_evict(std::uint32_t victim);
+  /// The chunk was invalidated (exclusive placement).
+  void on_erase(std::uint32_t chunk);
+  /// Cold restart at `capacity_chunks` (fail-stop / degraded capacity):
+  /// stacks and ownership forget; the classification counters survive,
+  /// as CacheStats do.
+  void on_reset(std::uint64_t capacity_chunks);
+
+  const std::string& name() const { return name_; }
+  int level() const { return level_; }
+  std::uint64_t configured_capacity() const { return configured_capacity_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t interference() const { return interference_; }
+
+  /// Misses an LRU cache of `capacity` chunks would take on the shared
+  /// stream seen so far.  Exact for capacity <= 4x configured; larger
+  /// capacities clamp to the histogram range (an upper bound).
+  std::uint64_t predicted_misses(std::uint64_t capacity) const;
+
+  /// Adds this instance's totals into a level aggregate whose curve grid
+  /// is already laid out.
+  void accumulate(LevelInsight& out) const;
+
+ private:
+  std::string name_;
+  int level_;
+  std::uint64_t configured_capacity_;
+  std::uint64_t current_capacity_;
+  const HierarchyInsight& owner_;  // supplies current client + fan-out
+
+  MattsonStack shared_;
+  std::vector<MattsonStack> solo_;  // one shadow stack per client
+
+  // Shared-stream distance histogram: hist_[d] counts accesses at
+  // exclusive reuse distance d for d < 4x configured capacity;
+  // overflow_ counts the rest; first touches are counted separately.
+  std::vector<std::uint64_t> hist_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t first_touches_ = 0;
+
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t compulsory_ = 0;
+  std::uint64_t capacity_class_ = 0;
+  std::uint64_t interference_ = 0;
+
+  // chunk -> client whose access/fill last touched it (for attribution).
+  std::unordered_map<std::uint32_t, std::uint32_t> owner_client_;
+  std::vector<std::uint64_t> eviction_matrix_;  // victim-major, n^2
+};
+
+/// Owns the per-cache observers of one MultiLevelCache and the shared
+/// "which client is accessing right now" cursor the engine advances.
+/// Everything here is written from the (serial) replay loop only.
+class HierarchyInsight {
+ public:
+  explicit HierarchyInsight(std::uint32_t num_clients)
+      : num_clients_(num_clients) {}
+
+  std::uint32_t num_clients() const { return num_clients_; }
+  std::uint32_t current_client() const { return current_client_; }
+  void set_current_client(std::uint32_t client) { current_client_ = client; }
+
+  CacheInsight& add_cache(std::string name, int level,
+                          std::uint64_t capacity_chunks);
+
+  /// Running per-level totals (for sampled trace counter events).
+  std::uint64_t level_misses(int level) const;
+  std::uint64_t level_interference(int level) const;
+
+  /// Sums the instances into per-level results with capacity curves.
+  InsightResult finalize() const;
+
+ private:
+  std::uint32_t num_clients_;
+  std::uint32_t current_client_ = 0;
+  std::vector<std::unique_ptr<CacheInsight>> caches_;
+};
+
+}  // namespace mlsc::obs

@@ -211,18 +211,29 @@ std::string sanitize_metric_name(std::string_view name) {
 
 void Registry::dump_prometheus(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Every family gets the text exposition format's full preamble —
+  // "# HELP" then "# TYPE" — because some scrapers reject metrics
+  // without it.  The help text names the registry's original dotted
+  // name, which sanitize_metric_name may have rewritten.
+  auto help = [&out](const std::string& prom, const char* family,
+                     const std::string& name) {
+    out << "# HELP " << prom << " mlsc " << family << " '" << name << "'\n";
+  };
   for (const auto& [name, c] : counters_) {
     const std::string prom = sanitize_metric_name(name);
+    help(prom, "counter", name);
     out << "# TYPE " << prom << " counter\n"
         << prom << " " << c->value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
     const std::string prom = sanitize_metric_name(name);
+    help(prom, "gauge", name);
     out << "# TYPE " << prom << " gauge\n"
         << prom << " " << prom_number(g->value()) << "\n";
   }
   for (const auto& [name, h] : histograms_) {
     const std::string prom = sanitize_metric_name(name);
+    help(prom, "histogram", name);
     out << "# TYPE " << prom << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h->bounds().size(); ++i) {

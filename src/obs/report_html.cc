@@ -105,6 +105,11 @@ th { background: var(--surface-2); }
 .legend span.swatch { display: inline-block; width: 10px; height: 10px;
   border-radius: 2px; margin-right: .35rem; }
 .meta { color: var(--text-secondary); }
+.curve { margin: .4rem 0 1rem; }
+.curve svg { display: block; }
+.heat { display: grid; gap: 1px; margin: .6rem 0 1rem; width: max-content; }
+.heat span { width: 8px; height: 8px; display: block;
+  background: var(--surface-2); }
 )css";
 
 void bar_section(std::ostream& out, const std::string& id,
@@ -276,6 +281,197 @@ void headroom_section(std::ostream& out, const JsonValue& record) {
         << format_double(value, 2) << "% of optimal\"></div></div>"
         << "<span class=\"bar-value\">" << format_double(value, 1)
         << "%</span></div>\n";
+  }
+  out << "</section>\n";
+}
+
+/// The "Explain" panel (DESIGN.md §18), rendered from the record's
+/// "insight" section: per-level miss classification as stacked bars,
+/// miss-vs-capacity curves from the reuse-distance profiler (configured
+/// capacity marked), and the inter-client eviction-attribution heatmap.
+void insight_section(std::ostream& out, const JsonValue& record) {
+  const JsonValue* insight = record.find("insight");
+  if (insight == nullptr || !insight->is_object()) return;
+  const JsonValue* levels = insight->find("levels");
+  if (levels == nullptr || !levels->is_array() ||
+      levels->as_array().empty()) {
+    return;
+  }
+  const JsonValue* clients = insight->find("num_clients");
+  const std::size_t num_clients = static_cast<std::size_t>(
+      clients != nullptr ? clients->number_or(0.0) : 0.0);
+
+  out << "<section id=\"insight\">\n<h2>Explain: why does it miss?</h2>\n"
+      << "<p class=\"subtitle\">reuse-distance profiler attached to every "
+         "cache in one replay: miss classes, miss-vs-capacity curves, and "
+         "inter-client eviction attribution</p>\n";
+
+  // Classification stacked bars: one bar per level, split compulsory /
+  // capacity / interference.  Palette slots reuse the stall chart's
+  // validated series (the data table below is the accessible fallback).
+  struct MissClass {
+    const char* key;
+    const char* css;
+  };
+  constexpr MissClass kClasses[] = {
+      {"compulsory", "--series-1"},
+      {"capacity", "--series-4"},
+      {"interference", "--series-2"},
+  };
+  out << "<div class=\"legend\">";
+  for (const MissClass& mc : kClasses) {
+    out << "<span><span class=\"swatch\" style=\"background:var(" << mc.css
+        << ")\"></span>" << mc.key << "</span>";
+  }
+  out << "</div>\n";
+  double max_misses = 0.0;
+  for (const JsonValue& level : levels->as_array()) {
+    const JsonValue* misses = level.find("misses");
+    if (misses != nullptr) {
+      max_misses = std::max(max_misses, misses->number_or(0.0));
+    }
+  }
+  for (const JsonValue& level : levels->as_array()) {
+    const std::string name =
+        level.find("level") != nullptr ? level.find("level")->string_or("?")
+                                       : "?";
+    const double misses = level.find("misses") != nullptr
+                              ? level.find("misses")->number_or(0.0)
+                              : 0.0;
+    out << "<div class=\"bar-row\"><span class=\"bar-label\">"
+        << html_escape(name) << " (" << static_cast<long long>(misses)
+        << " misses)</span><div class=\"bar-track\" style=\"width:"
+        << pct(max_misses > 0.0 ? misses / max_misses : 0.0)
+        << "%;flex-grow:0\">";
+    for (const MissClass& mc : kClasses) {
+      const JsonValue* count = level.find(mc.key);
+      const double value = count != nullptr ? count->number_or(0.0) : 0.0;
+      if (value <= 0.0) continue;
+      out << "<span class=\"seg\" style=\"width:"
+          << pct(misses > 0.0 ? value / misses : 0.0) << "%;background:var("
+          << mc.css << ")\" title=\"" << html_escape(name) << " " << mc.key
+          << ": " << static_cast<long long>(value) << " ("
+          << format_double(misses > 0.0 ? 100.0 * value / misses : 0.0, 1)
+          << "%)\"></span>";
+    }
+    out << "</div><span class=\"bar-value\">"
+        << static_cast<long long>(misses) << "</span></div>\n";
+  }
+
+  // Miss-vs-capacity curves, one per level: the Mattson profiler's
+  // predicted misses at log-spaced capacities (x log-scaled), with the
+  // configured capacity marked.  Every point came from the same replay.
+  for (const JsonValue& level : levels->as_array()) {
+    const JsonValue* curve = level.find("curve");
+    if (curve == nullptr || !curve->is_array() ||
+        curve->as_array().size() < 2) {
+      continue;
+    }
+    const std::string name =
+        level.find("level") != nullptr ? level.find("level")->string_or("?")
+                                       : "?";
+    const double configured =
+        level.find("capacity_chunks") != nullptr
+            ? level.find("capacity_chunks")->number_or(0.0)
+            : 0.0;
+    std::vector<std::pair<double, double>> points;  // (capacity, misses)
+    double max_pred = 0.0;
+    for (const JsonValue& point : curve->as_array()) {
+      if (!point.is_array() || point.as_array().size() != 2) continue;
+      const double cap = point.as_array()[0].number_or(0.0);
+      const double pred = point.as_array()[1].number_or(0.0);
+      if (cap <= 0.0) continue;
+      points.emplace_back(cap, pred);
+      max_pred = std::max(max_pred, pred);
+    }
+    if (points.size() < 2 || max_pred <= 0.0) continue;
+    const double log_lo = std::log(points.front().first);
+    const double log_hi = std::log(points.back().first);
+    if (log_hi <= log_lo) continue;
+    constexpr double kW = 560.0, kH = 140.0, kPad = 8.0;
+    auto x_of = [&](double cap) {
+      return kPad + (kW - 2 * kPad) * (std::log(cap) - log_lo) /
+                        (log_hi - log_lo);
+    };
+    auto y_of = [&](double pred) {
+      return kH - kPad - (kH - 2 * kPad) * pred / max_pred;
+    };
+    out << "<h3>" << html_escape(name)
+        << " misses vs. capacity (chunks, log scale)</h3>\n"
+        << "<div class=\"curve\"><svg width=\"" << kW << "\" height=\""
+        << kH << "\" viewBox=\"0 0 " << kW << " " << kH
+        << "\" role=\"img\" aria-label=\"" << html_escape(name)
+        << " miss-vs-capacity curve\">\n";
+    if (configured > 0.0 && configured >= points.front().first &&
+        configured <= points.back().first) {
+      const double mx = x_of(configured);
+      out << "<line x1=\"" << format_double(mx, 1) << "\" y1=\"" << kPad
+          << "\" x2=\"" << format_double(mx, 1) << "\" y2=\"" << kH - kPad
+          << "\" stroke=\"var(--series-2)\" stroke-dasharray=\"4 3\">"
+          << "<title>configured capacity: "
+          << static_cast<long long>(configured) << " chunks</title></line>\n";
+    }
+    out << "<polyline fill=\"none\" stroke=\"var(--series-1)\" "
+           "stroke-width=\"2\" points=\"";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i != 0) out << " ";
+      out << format_double(x_of(points[i].first), 1) << ","
+          << format_double(y_of(points[i].second), 1);
+    }
+    out << "\"/>\n</svg></div>\n<p class=\"meta\">" << html_escape(name)
+        << ": " << static_cast<long long>(points.front().second)
+        << " misses at " << static_cast<long long>(points.front().first)
+        << " chunks &rarr; " << static_cast<long long>(points.back().second)
+        << " at " << static_cast<long long>(points.back().first)
+        << "; dashed marker = configured ("
+        << static_cast<long long>(configured) << ")</p>\n";
+  }
+
+  // Eviction-attribution heatmaps: victim rows x evictor columns, cell
+  // intensity = eviction count (self-evictions included; the diagonal
+  // is ordinary capacity churn, off-diagonal is interference).
+  if (num_clients >= 2) {
+    for (const JsonValue& level : levels->as_array()) {
+      const JsonValue* matrix = level.find("eviction_matrix");
+      if (matrix == nullptr || !matrix->is_array() ||
+          matrix->as_array().size() != num_clients) {
+        continue;
+      }
+      const std::string name =
+          level.find("level") != nullptr
+              ? level.find("level")->string_or("?")
+              : "?";
+      double max_count = 0.0;
+      for (const JsonValue& row : matrix->as_array()) {
+        if (!row.is_array()) continue;
+        for (const JsonValue& cell : row.as_array()) {
+          max_count = std::max(max_count, cell.number_or(0.0));
+        }
+      }
+      if (max_count <= 0.0) continue;
+      out << "<h3>" << html_escape(name)
+          << " eviction attribution (rows: victim, columns: evictor)</h3>\n"
+          << "<div class=\"heat\" style=\"grid-template-columns:repeat("
+          << num_clients << ",8px)\">\n";
+      const auto& rows = matrix->as_array();
+      for (std::size_t v = 0; v < rows.size(); ++v) {
+        if (!rows[v].is_array()) continue;
+        const auto& cells = rows[v].as_array();
+        for (std::size_t e = 0; e < cells.size(); ++e) {
+          const double count = cells[e].number_or(0.0);
+          if (count <= 0.0) {
+            out << "<span></span>";
+            continue;
+          }
+          out << "<span style=\"background:var(--series-2);opacity:"
+              << format_double(0.15 + 0.85 * count / max_count, 3)
+              << "\" title=\"client " << e << " evicted client " << v
+              << " x" << static_cast<long long>(count) << "\"></span>";
+        }
+        out << "\n";
+      }
+      out << "</div>\n";
+    }
   }
   out << "</section>\n";
 }
@@ -496,6 +692,7 @@ std::string render_html_report(const JsonValue& record,
   metadata_section(out, record);
   phases_section(out, record);
   headroom_section(out, record);
+  insight_section(out, record);
   tables_section(out, record);
   metrics_section(out, record);
   if (trace != nullptr) stall_section(out, *trace);

@@ -48,6 +48,10 @@ void RunRecord::write_json(std::ostream& out) const {
     tables[i].second.print_json(out, tables[i].first);
   }
   out << (tables.empty() ? "]" : "\n ]");
+  if (!insight.empty()) {
+    out << ",\n \"insight\": ";
+    write_insight_json(out, insight);
+  }
   if (include_metrics) {
     out << ",\n \"metrics\": ";
     Registry::global().write_json(out);

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/cache_insight.h"
 #include "support/table.h"
 
 namespace mlsc::obs {
@@ -42,6 +43,11 @@ struct RunRecord {
 
   /// The printed result tables, in print order, each under a title.
   std::vector<std::pair<std::string, Table>> tables;
+
+  /// Cache-behavior explanation (DESIGN.md §18): written as an
+  /// "insight" section when non-empty — per-level miss classes, the
+  /// capacity curves and the eviction-attribution matrix.
+  InsightResult insight;
 
   /// Snapshot Registry::global() into a "metrics" section on write.
   bool include_metrics = false;

@@ -19,7 +19,7 @@ namespace {
 
 struct Event {
   std::string name;
-  char ph = 'X';  // 'X' complete, 'M' metadata
+  char ph = 'X';  // 'X' complete, 'C' counter, 'M' metadata
   std::int64_t pid = kRealtimePid;
   std::int64_t tid = 0;
   std::uint64_t ts_ns = 0;
@@ -113,13 +113,15 @@ void write_event(std::ostream& out, const Event& e) {
   write_json_string(out, e.name);
   out << ", \"ph\": \"" << e.ph << "\", \"pid\": " << e.pid
       << ", \"tid\": " << e.tid;
-  if (e.ph == 'X') {
+  if (e.ph == 'X' || e.ph == 'C') {
     // trace_event timestamps are microseconds; keep ns precision with a
     // fixed three decimals.
     std::snprintf(buf, sizeof buf, "%llu.%03llu",
                   static_cast<unsigned long long>(e.ts_ns / 1000),
                   static_cast<unsigned long long>(e.ts_ns % 1000));
     out << ", \"ts\": " << buf;
+  }
+  if (e.ph == 'X') {
     std::snprintf(buf, sizeof buf, "%llu.%03llu",
                   static_cast<unsigned long long>(e.dur_ns / 1000),
                   static_cast<unsigned long long>(e.dur_ns % 1000));
@@ -211,6 +213,21 @@ void emit_complete(std::int64_t pid, std::int64_t tid, std::string name,
   event.ts_ns = ts_ns;
   event.dur_ns = dur_ns;
   event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back(std::move(event));
+}
+
+void emit_counter(std::int64_t pid, std::string name, std::uint64_t ts_ns,
+                  std::uint64_t value) {
+  if (!trace_enabled()) return;
+  Session& s = session();
+  Event event;
+  event.name = std::move(name);
+  event.ph = 'C';
+  event.pid = pid;
+  event.tid = 0;
+  event.ts_ns = ts_ns;
+  event.args.emplace_back("value", std::to_string(value));
   std::lock_guard<std::mutex> lock(s.mutex);
   s.events.push_back(std::move(event));
 }

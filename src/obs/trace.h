@@ -62,6 +62,13 @@ void emit_complete(
     std::uint64_t dur_ns,
     std::vector<std::pair<std::string, std::string>> args = {});
 
+/// A counter event ("ph":"C"): Perfetto renders successive samples of
+/// the same (pid, name) as a metric timeline next to the span tracks.
+/// The engine samples per-level miss / interference totals onto a
+/// dedicated virtual-time pid.  No-op when tracing is off.
+void emit_counter(std::int64_t pid, std::string name, std::uint64_t ts_ns,
+                  std::uint64_t value);
+
 /// Metadata: names a process / thread track in the viewer.
 void set_process_name(std::int64_t pid, const std::string& name);
 void set_thread_name(std::int64_t pid, std::int64_t tid,

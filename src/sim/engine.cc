@@ -50,6 +50,16 @@ EngineResult run_engine(const Trace& trace,
                                 config.placement);
   caches.set_write_back(config.write_back);
   caches.set_cooperative(config.cooperative_caching);
+  // The explanation observer (DESIGN.md §18): one per cache instance,
+  // fed from the same serial replay loop that updates CacheStats, so its
+  // output is deterministic at any thread count (threads only affect the
+  // mapping stage; the mapping itself is bit-identical).
+  std::unique_ptr<obs::HierarchyInsight> insight;
+  if (config.explain) {
+    insight = std::make_unique<obs::HierarchyInsight>(
+        static_cast<std::uint32_t>(num_clients));
+    caches.attach_insight(*insight);
+  }
   const io::DiskModel disk(config.disk);
   const io::NetworkModel network(config.network);
   const io::StripingLayout striping(config.stripe_size_bytes,
@@ -128,6 +138,40 @@ EngineResult run_engine(const Trace& trace,
     --events_left[c];
     obs::emit_complete(obs::kClientPidBase + static_cast<std::int64_t>(c), 0,
                        name, start, dur);
+  };
+
+  // Sampled counter timelines (ph "C") on one dedicated virtual-time
+  // track (the faults track, when present, sits at +num_clients):
+  // per-level miss totals, plus interference totals when the
+  // explanation observer is attached.  One sample per 4096 accesses
+  // keeps the trace bounded; sampling is driven by the deterministic
+  // access count, so traces replay identically at any thread count.
+  const auto counter_pid =
+      obs::kClientPidBase + static_cast<std::int64_t>(num_clients) + 1;
+  bool counter_track_named = false;
+  auto emit_counter_samples = [&](Nanoseconds now) {
+    if (!counter_track_named) {
+      obs::set_process_name(counter_pid, "cache counters");
+      counter_track_named = true;
+    }
+    const auto ts = static_cast<std::uint64_t>(now);
+    obs::emit_counter(
+        counter_pid, "cache.l1.misses", ts,
+        caches.aggregate_stats(topology::NodeKind::kCompute).misses);
+    obs::emit_counter(counter_pid, "cache.l2.misses", ts,
+                      caches.aggregate_stats(topology::NodeKind::kIo).misses);
+    obs::emit_counter(
+        counter_pid, "cache.l3.misses", ts,
+        caches.aggregate_stats(topology::NodeKind::kStorage).misses);
+    if (insight != nullptr) {
+      // The private L1 sees only its own client's stream, so its
+      // interference is structurally zero — only the shared levels get
+      // a timeline.
+      obs::emit_counter(counter_pid, "insight.l2.interference", ts,
+                        insight->level_interference(2));
+      obs::emit_counter(counter_pid, "insight.l3.interference", ts,
+                        insight->level_interference(3));
+    }
   };
 
   obs::Histogram* latency_hist = nullptr;
@@ -221,6 +265,9 @@ EngineResult run_engine(const Trace& trace,
 
     const std::uint8_t count = ct.accesses_per_iteration[s.iter_global];
     const topology::NodeId client_node = tree.clients()[c];
+    if (insight != nullptr) {
+      insight->set_current_client(static_cast<std::uint32_t>(c));
+    }
 
     // Charges an asynchronous disk operation (write-back flush or
     // prefetch): it occupies the spindle but does not stall the client.
@@ -381,6 +428,9 @@ EngineResult run_engine(const Trace& trace,
       s.clock += total;
       s.io_time += total;
       ++result.accesses;
+      if (tracing && (result.accesses & 4095) == 0) {
+        emit_counter_samples(s.clock);
+      }
     }
 
     ++s.iter;
@@ -409,6 +459,12 @@ EngineResult run_engine(const Trace& trace,
   result.l1 = caches.aggregate_stats(topology::NodeKind::kCompute);
   result.l2 = caches.aggregate_stats(topology::NodeKind::kIo);
   result.l3 = caches.aggregate_stats(topology::NodeKind::kStorage);
+  if (insight != nullptr) result.insight = insight->finalize();
+  if (tracing && result.accesses > 0) {
+    // Close every counter timeline with a final sample at the end of
+    // the replay.
+    emit_counter_samples(result.exec_time);
+  }
 
   if (faults != nullptr) {
     result.faults_applied = faults->events_applied();

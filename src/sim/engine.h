@@ -10,6 +10,7 @@
 
 #include "cache/storage_cache.h"
 #include "core/mapping.h"
+#include "obs/cache_insight.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
 
@@ -103,6 +104,11 @@ struct EngineResult {
   /// Global pause time from stall events (remap downtime).  Charged to
   /// every live client's clock — part of exec_time, not of the I/O total.
   Nanoseconds fault_stall_total = 0;
+
+  /// Cache-behavior explanation (MachineConfig::explain): per-level
+  /// reuse-distance curves, miss classes and the eviction-attribution
+  /// matrix.  Empty unless the replay ran with explain on.
+  obs::InsightResult insight;
 
   /// Average per-client I/O latency — the paper's "I/O latency" metric.
   Nanoseconds io_time_mean(std::size_t clients) const {

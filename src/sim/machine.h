@@ -47,6 +47,12 @@ struct MachineConfig {
   /// (asynchronously).  0 disables prefetching (the default).
   std::uint32_t readahead_chunks = 0;
 
+  /// Cache-behavior explanation (DESIGN.md §18): attach the reuse-
+  /// distance / miss-classification / interference-attribution observer
+  /// to every cache and carry the result in EngineResult::insight.
+  /// Off by default — replays cost one null test per cache event.
+  bool explain = false;
+
   io::DiskParams disk;
   io::NetworkParams network;
 

@@ -68,6 +68,23 @@ std::vector<std::pair<std::string, Table>> report_tables(
     tables.emplace_back("data movement", std::move(movement));
   }
 
+  // Miss classification from the explanation observer (--explain,
+  // DESIGN.md §18).  Column names are stable metric keys; everything in
+  // this table is deterministic, and the "insight" title routes it into
+  // the bench diff's guarded set (any drift hard-fails).
+  if (!e.insight.empty()) {
+    Table insight({"level", "misses", "compulsory", "capacity",
+                   "interference", "interference_miss_pct"});
+    for (const auto& level : e.insight.levels) {
+      insight.add_row({level.level_name(), std::to_string(level.misses),
+                       std::to_string(level.compulsory),
+                       std::to_string(level.capacity),
+                       std::to_string(level.interference),
+                       format_double(level.interference_miss_pct(), 2)});
+    }
+    tables.emplace_back("insight", std::move(insight));
+  }
+
   if (e.faults_applied > 0) {
     Table faults({"fault metric", "value"});
     faults.add_row({"schedule events applied",
@@ -116,7 +133,8 @@ void write_report(std::ostream& out, const ExperimentResult& result,
   out << "\n";
   tables[1].second.print(out);  // io stall breakdown
   for (const auto& [title, table] : tables) {
-    if (title == "resilience" || title == "data movement") {
+    if (title == "resilience" || title == "data movement" ||
+        title == "insight") {
       out << "\n";
       table.print(out);
     }

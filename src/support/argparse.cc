@@ -67,13 +67,15 @@ bool CommonToolOptions::match(ArgParser& args) {
     if (repetitions < 1) {
       throw UsageError("--reps: expected a positive count");
     }
+  } else if (accept_explain && args.flag("--explain")) {
+    explain = true;
   } else {
     return false;
   }
   return true;
 }
 
-std::string CommonToolOptions::usage(bool with_reps) {
+std::string CommonToolOptions::usage(bool with_reps, bool with_explain) {
   std::string out =
       "  --trace PATH        write a Chrome trace_event JSON timeline\n"
       "  --metrics PATH      write the metrics registry as JSON on exit\n"
@@ -82,6 +84,13 @@ std::string CommonToolOptions::usage(bool with_reps) {
       "  --log-level L       debug|info|warn|error|off (default warn)\n";
   if (with_reps) {
     out += "  --reps N            timing repetitions (default 1)\n";
+  }
+  if (with_explain) {
+    out +=
+        "  --explain           classify misses (compulsory/capacity/\n"
+        "                      interference) and record reuse-distance\n"
+        "                      curves per cache level (DESIGN.md \xC2\xA7"
+        "18)\n";
   }
   return out;
 }

@@ -88,6 +88,11 @@ struct CommonToolOptions {
   std::size_t repetitions = 1;
   /// Benches accept --reps; one-shot tools leave it unknown.
   bool accept_reps = false;
+  /// --explain: attach the cache-insight profiler (DESIGN.md §18) to
+  /// every simulated run.  Off by default — replay pays one null check
+  /// per access when disabled.  Only matched when accept_explain is set.
+  bool explain = false;
+  bool accept_explain = false;
 
   /// Consumes the current argument when it is one of the shared flags
   /// (both "--flag value" and "--flag=value" forms); --log-level is
@@ -96,7 +101,8 @@ struct CommonToolOptions {
 
   /// Usage text for the shared flags (one indented line each, trailing
   /// newline included).
-  static std::string usage(bool with_reps = false);
+  static std::string usage(bool with_reps = false,
+                           bool with_explain = false);
 };
 
 }  // namespace mlsc

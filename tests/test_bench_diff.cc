@@ -274,6 +274,75 @@ TEST(BenchDiff, CheckMinAssertions) {
   EXPECT_NE(failures[1].find("no.such.metric"), std::string::npos);
 }
 
+TEST(BenchDiff, ParseMaxAssertion) {
+  MaxAssertion a;
+  ASSERT_TRUE(
+      parse_max_assertion("insight.l2.interference_miss_pct:12.5", &a));
+  EXPECT_EQ(a.metric, "insight.l2.interference_miss_pct");
+  EXPECT_DOUBLE_EQ(a.max, 12.5);
+  EXPECT_FALSE(parse_max_assertion("no-colon", &a));
+  EXPECT_FALSE(parse_max_assertion("m:", &a));
+  EXPECT_FALSE(parse_max_assertion("m:nan", &a));
+  EXPECT_FALSE(parse_max_assertion(":1.0", &a));
+}
+
+TEST(BenchDiff, CheckMaxAssertions) {
+  const JsonValue record = parse_json(kRecord);
+  std::vector<MaxAssertion> assertions{
+      {"counters.pipeline.balance_moves", 20.0},  // 17 <= 20: met
+      {"gauges.g.load", 0.5},                     // boundary counts as met
+  };
+  EXPECT_TRUE(check_max_assertions(record, assertions).empty());
+
+  assertions.push_back({"counters.pipeline.balance_moves", 10.0});
+  assertions.push_back({"no.such.metric", 1.0});
+  const auto failures = check_max_assertions(record, assertions);
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_NE(failures[0].find("balance_moves"), std::string::npos);
+  EXPECT_NE(failures[0].find("> allowed"), std::string::npos);
+  EXPECT_NE(failures[1].find("no.such.metric"), std::string::npos);
+}
+
+TEST(BenchDiff, FlattensInsightSectionAsGuardedMetrics) {
+  const std::string text = patched(
+      "\"metrics\": {",
+      R"("insight": {
+        "num_clients": 2,
+        "levels": [
+          {"level": "l2", "capacity_chunks": 32, "accesses": 100,
+           "hits": 60, "misses": 40, "compulsory": 30, "capacity": 6,
+           "interference": 4, "interference_miss_pct": 10.0,
+           "curve": [[1, 90], [32, 40]],
+           "eviction_matrix": [[0, 1], [2, 0]]}
+        ]
+      },
+      "metrics": {)");
+  const auto metrics = flatten_run_record(parse_json(text));
+  auto value_of = [&](const std::string& name) -> double {
+    for (const auto& m : metrics) {
+      if (m.name == name) return m.value;
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value_of("insight.l2.misses"), 40.0);
+  EXPECT_DOUBLE_EQ(value_of("insight.l2.compulsory"), 30.0);
+  EXPECT_DOUBLE_EQ(value_of("insight.l2.capacity"), 6.0);
+  EXPECT_DOUBLE_EQ(value_of("insight.l2.interference"), 4.0);
+  EXPECT_DOUBLE_EQ(value_of("insight.l2.interference_miss_pct"), 10.0);
+  // Any deterministic drift in an insight metric is a hard regression.
+  EXPECT_TRUE(is_guarded_metric("insight.l2.interference_miss_pct"));
+  const JsonValue base = parse_json(text);
+  const JsonValue current = parse_json(
+      [&] {
+        std::string t = text;
+        t.replace(t.find("\"interference\": 4"),
+                  std::string("\"interference\": 4").size(),
+                  "\"interference\": 5");
+        return t;
+      }());
+  EXPECT_EQ(diff_run_records(base, current).exit_code(), 2);
+}
+
 TEST(BenchDiff, DiffTableListsRegressions) {
   const JsonValue base = parse_json(kRecord);
   const JsonValue worse =

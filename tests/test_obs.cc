@@ -146,6 +146,30 @@ TEST(Trace, SpanLifecycleWritesTraceEvents) {
   std::remove(path.c_str());
 }
 
+TEST(Trace, CounterEventsCarryValueArg) {
+  const std::string path = ::testing::TempDir() + "mlsc_trace_counter.json";
+  obs::start_trace(path);
+  obs::emit_counter(obs::kClientPidBase, "cache.l2.misses", 2'000, 17);
+  obs::emit_counter(obs::kClientPidBase, "cache.l2.misses", 3'000, 23);
+  ASSERT_TRUE(obs::stop_trace());
+
+  const std::string json = slurp(path);
+  // Chrome counter events: phase "C", a timestamp but no duration, and
+  // the sampled value in args — two samples form a metric timeline.
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache.l2.misses\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 23"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 2.000"), std::string::npos);
+  std::size_t counters = 0;
+  for (std::size_t pos = json.find("\"ph\": \"C\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"C\"", pos + 1)) {
+    ++counters;
+  }
+  EXPECT_EQ(counters, 2u);
+  std::remove(path.c_str());
+}
+
 TEST(Trace, SpanEndClosesEarly) {
   const std::string path = ::testing::TempDir() + "mlsc_trace_end.json";
   obs::start_trace(path);
@@ -370,6 +394,15 @@ TEST(Prometheus, DumpRoundTripsRegistryValues) {
   EXPECT_NE(out.str().find("# TYPE prom_counter counter"), std::string::npos);
   EXPECT_NE(out.str().find("# TYPE prom_gauge gauge"), std::string::npos);
   EXPECT_NE(out.str().find("# TYPE prom_hist histogram"), std::string::npos);
+  // ... preceded by help lines naming the original dotted registry name.
+  EXPECT_NE(out.str().find("# HELP prom_counter mlsc counter 'prom.counter'"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("# HELP prom_gauge mlsc gauge 'prom.gauge'"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("# HELP prom_hist mlsc histogram 'prom.hist'"),
+            std::string::npos);
+  EXPECT_LT(out.str().find("# HELP prom_counter"),
+            out.str().find("# TYPE prom_counter"));
 }
 
 TEST(Metrics, WriteMetricsFileProducesJson) {

@@ -4,11 +4,13 @@
 // Usage:
 //   mlsc_bench_diff <baseline.json> <current.json>
 //       [--det-threshold=F] [--time-threshold=F] [--hard-factor=F]
-//       [--assert-min=METRIC:VALUE]... [--all] [--csv]
+//       [--assert-min=METRIC:VALUE]... [--assert-max=METRIC:VALUE]...
+//       [--all] [--csv]
 //       [--color|--no-color]
 //
 // Exit codes: 0 no regression, 1 soft regression(s) or unmet
-// --assert-min, 2 hard regression(s), 3 usage or parse error.
+// --assert-min/--assert-max, 2 hard regression(s), 3 usage or parse
+// error.
 #include <unistd.h>
 
 #include <algorithm>
@@ -45,6 +47,13 @@ void print_usage(std::ostream& out, const char* argv0) {
          "multicore\n"
       << "                      speedups that a committed baseline can't "
          "pin.\n"
+      << "  --assert-max=M:V    require flattened metric M <= V in the "
+         "*current*\n"
+      << "                      record (repeatable; breach = soft fail). "
+         "The\n"
+      << "                      ceiling complement, e.g. capping an "
+         "interference\n"
+      << "                      share that must not creep back up.\n"
       << "  --all               list every compared metric, not just "
          "deviations\n"
       << "  --csv               CSV output (implies no color)\n"
@@ -59,7 +68,8 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   obs::DiffOptions options;
-  std::vector<obs::MinAssertion> assertions;
+  std::vector<obs::MinAssertion> min_assertions;
+  std::vector<obs::MaxAssertion> max_assertions;
   bool all = false;
   bool csv = false;
   bool color = isatty(STDOUT_FILENO) != 0;
@@ -81,7 +91,14 @@ int main(int argc, char** argv) {
           throw UsageError("--assert-min: expected METRIC:VALUE, got '" +
                            args.value() + "'");
         }
-        assertions.push_back(std::move(assertion));
+        min_assertions.push_back(std::move(assertion));
+      } else if (args.value_flag("--assert-max")) {
+        obs::MaxAssertion assertion;
+        if (!obs::parse_max_assertion(args.value(), &assertion)) {
+          throw UsageError("--assert-max: expected METRIC:VALUE, got '" +
+                           args.value() + "'");
+        }
+        max_assertions.push_back(std::move(assertion));
       } else if (args.flag("--all")) {
         all = true;
       } else if (args.flag("--csv")) {
@@ -150,8 +167,11 @@ int main(int argc, char** argv) {
                 << result.missing << " missing\n";
     }
 
-    const std::vector<std::string> unmet =
-        obs::check_min_assertions(current, assertions);
+    std::vector<std::string> unmet =
+        obs::check_min_assertions(current, min_assertions);
+    const std::vector<std::string> over =
+        obs::check_max_assertions(current, max_assertions);
+    unmet.insert(unmet.end(), over.begin(), over.end());
     for (const std::string& failure : unmet) {
       std::cerr << failure << "\n";
     }

@@ -12,7 +12,7 @@
 //            [--balance FRACTION] [--alpha A] [--beta B]
 //            [--write-back] [--cooperative] [--readahead N]
 //            [--size-factor F] [--threads N]
-//            [--faults FILE|SPEC] [--remap]
+//            [--faults FILE|SPEC] [--remap] [--explain]
 //            [--trace PATH] [--metrics PATH] [--json PATH]
 //            [--log-level debug|info|warn|error|off]
 //            [--report stats|mapping|codegen|csv]
@@ -83,7 +83,7 @@ void print_usage(std::ostream& out, const char* argv0) {
          "over the\n"
       << "                      surviving topology when the schedule "
          "fail-stops a node\n"
-      << CommonToolOptions::usage()
+      << CommonToolOptions::usage(/*with_reps=*/false, /*with_explain=*/true)
       << "  --report KIND       stats|full|compare|mapping|codegen|csv (default stats)\n";
 }
 
@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
   double alpha = 0.5;
   double beta = 0.5;
   CommonToolOptions common;
+  common.accept_explain = true;
   std::string faults_arg;
   bool remap = false;
   sim::ResilienceSpec rspec;
@@ -213,6 +214,7 @@ int main(int argc, char** argv) {
     } else if (remap) {
       throw UsageError("--remap requires --faults");
     }
+    machine.explain = common.explain;
   } catch (const Error& e) {
     // Anything thrown while digesting the command line — unknown flags,
     // malformed values, unparseable fault schedules — is CLI misuse.
@@ -292,6 +294,7 @@ int main(int argc, char** argv) {
                                    have_faults ? &rspec : nullptr);
       }();
       record.tables = sim::report_tables(r);
+      record.insight = r.engine.insight;
       write_record();
       sim::write_report(std::cout, r, machine);
       return 0;
@@ -313,6 +316,7 @@ int main(int argc, char** argv) {
                                  have_faults ? &rspec : nullptr);
     }();
     record.tables = sim::report_tables(r);
+    record.insight = r.engine.insight;
     write_record();
     if (report == "csv") {
       Table table({"workload", "scheme", "l1_miss", "l2_miss", "l3_miss",
